@@ -1,0 +1,151 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic datasets with a simulated crowd.
+//
+// Usage:
+//
+//	experiments                  # everything
+//	experiments -table 2         # just Table 2
+//	experiments -figure 3        # just Figure 3
+//	experiments -exp noise       # a §9.3/§9.4 experiment or ablation:
+//	                             #   estimator | reduction | rules | noise |
+//	                             #   params | voting | alstrategy | stopping |
+//	                             #   budget | cleaning
+//	experiments -scale 0.05      # shrink the large datasets further
+//	experiments -error 0.1       # crowd error rate
+//	experiments -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/corleone-em/corleone/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate only this table (1-4)")
+	figure := flag.Int("figure", 0, "regenerate only this figure (2-4)")
+	exp := flag.String("exp", "", "extra experiment: estimator|reduction|rules|noise|params|voting|alstrategy|stopping|budget|cleaning|moneytime|difficulty")
+	scale := flag.Float64("scale", 0, "override scale for Citations/Products (0 = defaults)")
+	errRate := flag.Float64("error", experiments.DefaultErrorRate, "simulated crowd error rate")
+	seed := flag.Int64("seed", 11, "random seed")
+	flag.Parse()
+
+	setups := makeSetups(*scale, *errRate, *seed)
+
+	switch {
+	case *figure == 2:
+		fmt.Println(experiments.Figure2())
+		return
+	case *figure == 4:
+		fmt.Println(experiments.Figure4())
+		return
+	case *exp == "estimator":
+		_, txt := experiments.EstimatorEfficiency(setups)
+		fmt.Println(txt)
+		return
+	case *exp == "noise":
+		scales := map[string]float64{
+			"Restaurants": 1.0,
+			"Citations":   scaleOr(*scale, experiments.DefaultScaleCitations),
+			"Products":    scaleOr(*scale, experiments.DefaultScaleProducts),
+		}
+		_, txt := experiments.CrowdNoiseSensitivity(
+			[]string{"Restaurants", "Citations", "Products"}, scales, *seed)
+		fmt.Println(txt)
+		return
+	case *exp == "params":
+		_, txt := experiments.ParamSensitivity("Citations",
+			scaleOr(*scale, experiments.DefaultScaleCitations), *seed)
+		fmt.Println(txt)
+		return
+	case *exp == "voting":
+		_, txt := experiments.VotingAblation(400, 0.85, 3, *seed)
+		fmt.Println(txt)
+		_, txt = experiments.NoiseCostCurve([]float64{0, 0.05, 0.10, 0.20}, 50, *seed)
+		fmt.Println(txt)
+		return
+	case *exp == "alstrategy":
+		_, txt := experiments.ALStrategyAblation("Restaurants", 1.0, *seed)
+		fmt.Println(txt)
+		return
+	case *exp == "stopping":
+		_, txt := experiments.StoppingAblation("Restaurants", 1.0, *seed)
+		fmt.Println(txt)
+		return
+	case *exp == "budget":
+		_, txt := experiments.BudgetAllocationStudy("Restaurants", 1.0, 10, *seed)
+		fmt.Println(txt)
+		return
+	case *exp == "moneytime":
+		_, txt := experiments.MoneyTimeTradeoff(3000, 3, 24, 200)
+		fmt.Println(txt)
+		return
+	case *exp == "difficulty":
+		_, txt := experiments.DifficultySweep("Restaurants", 0.6,
+			[]float64{0.5, 1.0, 1.5, 2.0}, *seed)
+		fmt.Println(txt)
+		return
+	}
+
+	// The remaining outputs all come from full pipeline runs.
+	needBaselines := *table == 0 || *table == 2
+	runs, err := experiments.RunAll(setups, needBaselines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *table == 1:
+		fmt.Println(experiments.Table1(runs))
+	case *table == 2:
+		fmt.Println(experiments.Table2(runs))
+	case *table == 3:
+		fmt.Println(experiments.Table3(runs))
+	case *table == 4:
+		fmt.Println(experiments.Table4(runs))
+	case *figure == 3:
+		fmt.Println(experiments.Figure3(runs))
+	case *exp == "reduction":
+		_, txt := experiments.ReductionEffectiveness(runs)
+		fmt.Println(txt)
+	case *exp == "rules":
+		_, txt := experiments.RulePrecisionAudit(runs)
+		fmt.Println(txt)
+	case *exp == "cleaning":
+		_, txt := experiments.RuleCleaning(runs)
+		fmt.Println(txt)
+	default:
+		fmt.Println(experiments.Table1(runs))
+		fmt.Println(experiments.Table2(runs))
+		fmt.Println(experiments.Table3(runs))
+		fmt.Println(experiments.Table4(runs))
+		fmt.Println(experiments.Figure2())
+		fmt.Println(experiments.Figure3(runs))
+		fmt.Println(experiments.Figure4())
+		_, txt := experiments.ReductionEffectiveness(runs)
+		fmt.Println(txt)
+		_, txt = experiments.RulePrecisionAudit(runs)
+		fmt.Println(txt)
+		_, txt = experiments.RuleCleaning(runs)
+		fmt.Println(txt)
+		_, txt = experiments.VotingAblation(400, 0.85, 3, *seed)
+		fmt.Println(txt)
+	}
+}
+
+func makeSetups(scale, errRate float64, seed int64) []experiments.Setup {
+	return []experiments.Setup{
+		experiments.NewSetup("Restaurants", 1.0, errRate, seed),
+		experiments.NewSetup("Citations", scaleOr(scale, experiments.DefaultScaleCitations), errRate, seed+1),
+		experiments.NewSetup("Products", scaleOr(scale, experiments.DefaultScaleProducts), errRate, seed+2),
+	}
+}
+
+func scaleOr(v, def float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestScaleOr(t *testing.T) {
+	if scaleOr(0, 0.1) != 0.1 || scaleOr(0.2, 0.1) != 0.2 {
+		t.Error("scaleOr wrong")
+	}
+}
+
+func TestMakeSetups(t *testing.T) {
+	got := makeSetups(0, 0.05, 3)
+	if len(got) != 3 {
+		t.Fatalf("setups = %d", len(got))
+	}
+	names := map[string]bool{}
+	for _, s := range got {
+		names[s.Profile.Name] = true
+		if s.ErrorRate != 0.05 {
+			t.Errorf("%s error rate = %v", s.Profile.Name, s.ErrorRate)
+		}
+	}
+	for _, want := range []string{"Restaurants", "Citations", "Products"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}

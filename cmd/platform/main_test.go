@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestNormalizeAddr(t *testing.T) {
+	cases := map[string]string{
+		":8080":          ":8080",
+		"localhost:9090": ":9090",
+		"8080":           ":8080",
+	}
+	for in, want := range cases {
+		if got := normalizeAddr(in); got != want {
+			t.Errorf("normalizeAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package corleone_test
+
+import (
+	"fmt"
+	"strings"
+
+	corleone "github.com/corleone-em/corleone"
+)
+
+// The simplest possible run: generate a small synthetic dataset and match
+// it with a perfect simulated crowd.
+func ExampleRun() {
+	ds := corleone.GenerateDataset(corleone.ScaledProfile(corleone.RestaurantsProfile, 0.25))
+	res, err := corleone.Run(ds, corleone.Oracle(ds.Truth), corleone.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("all true matches found:", len(res.Matches) == ds.Truth.NumMatches())
+	fmt.Println("estimator converged:", res.EstimatedF1 > 0)
+	// Output:
+	// all true matches found: true
+	// estimator converged: true
+}
+
+// Loading user CSVs with schema inference: the hands-off path where the
+// user provides only data, an instruction, and four examples.
+func ExampleLoadDatasetCSV() {
+	csvA := `name,price
+deluxe widget,19.99
+basic gadget,5.00
+premium thing,45.00
+standard item,12.00`
+	csvB := `name,price
+Deluxe Widget,20.49
+Standard Item,11.85
+other product,3.10
+different good,8.00`
+	seeds := []corleone.Labeled{
+		{Pair: corleone.P(0, 0), Match: true},
+		{Pair: corleone.P(3, 1), Match: true},
+		{Pair: corleone.P(1, 0), Match: false},
+		{Pair: corleone.P(2, 2), Match: false},
+	}
+	ds, err := corleone.LoadDatasetCSV("catalog",
+		strings.NewReader(csvA), strings.NewReader(csvB),
+		nil, // nil schema: attribute types are inferred
+		"match if the same product", seeds)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("price inferred numeric:", ds.A.Schema[1].Type.String())
+	// Output:
+	// price inferred numeric: numeric
+}
+
+// Scoring predicted matches against a gold standard.
+func ExampleEvaluateMatches() {
+	truth := corleone.NewGroundTruth([]corleone.Pair{
+		corleone.P(0, 0), corleone.P(1, 1),
+	})
+	predicted := []corleone.Pair{corleone.P(0, 0), corleone.P(2, 2)}
+	m := corleone.EvaluateMatches(predicted, truth)
+	fmt.Printf("P=%.0f R=%.0f\n", m.P, m.R)
+	// Output:
+	// P=50 R=50
+}

@@ -1,0 +1,51 @@
+// Crowdjoin: §10's hands-off crowdsourced JOIN — use Corleone as the join
+// operator a crowdsourced RDBMS (CrowdDB, Deco, Qurk) would need to match
+// entities across two tables without a developer. The example joins two
+// citation tables and prints the materialized output with its accuracy
+// estimate, the way a query result would carry cardinality confidence.
+package main
+
+import (
+	"fmt"
+
+	corleone "github.com/corleone-em/corleone"
+)
+
+func main() {
+	// Two bibliography tables: a curated one and a scraped one.
+	ds := corleone.GenerateDataset(corleone.ScaledProfile(corleone.CitationsProfile, 0.06))
+	crowd := corleone.NewSimulatedCrowd(ds.Truth, 0.05, 33)
+
+	cfg := corleone.DefaultConfig()
+	cfg.Seed = 37
+	cfg.Blocker.TB = int(ds.CartesianSize() / 10)
+
+	res, err := corleone.EntityJoin(ds.A, ds.B, crowd, corleone.JoinOptions{
+		Instruction: "rows join if they cite the same publication",
+		Seeds:       ds.Seeds,
+		Engine:      cfg,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("SELECT * FROM dblp JOIN scholar ON same_publication\n")
+	fmt.Printf("-> %d rows, estimated precision %.1f%%±%.1f, recall %.1f%%±%.1f, crowd cost $%.2f\n\n",
+		len(res.Rows),
+		100*res.EstimatedPrecision.Point, 100*res.EstimatedPrecision.Margin,
+		100*res.EstimatedRecall.Point, 100*res.EstimatedRecall.Margin,
+		res.Cost)
+
+	fmt.Println("first three joined rows (a.title | b.title):")
+	ti := 0 // title is the first attribute in both tables
+	for i, row := range res.Rows {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %q | %q\n", row[ti], row[len(ds.A.Schema)+ti])
+	}
+
+	// True join quality, since this is a simulation with gold data.
+	m := corleone.EvaluateMatches(res.Pairs, ds.Truth)
+	fmt.Printf("\ntrue join quality: %v\n", m)
+}

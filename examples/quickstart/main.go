@@ -1,0 +1,45 @@
+// Quickstart: run the full hands-off pipeline on a small synthetic
+// restaurant-matching task with a perfect simulated crowd, and print the
+// matches alongside the estimated and true accuracy.
+package main
+
+import (
+	"fmt"
+
+	corleone "github.com/corleone-em/corleone"
+)
+
+func main() {
+	// Generate a small dataset with known ground truth (in production you
+	// would load two CSVs with corleone.LoadDatasetCSV and connect a real
+	// crowd instead).
+	ds := corleone.GenerateDataset(corleone.ScaledProfile(corleone.RestaurantsProfile, 0.5))
+
+	// The crowd: the paper's random-worker model at a 5% error rate.
+	crowd := corleone.NewSimulatedCrowd(ds.Truth, 0.05, 42)
+
+	cfg := corleone.DefaultConfig()
+	cfg.Seed = 7
+	res, err := corleone.Run(ds, crowd, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("dataset: |A|=%d |B|=%d, %d true matches\n",
+		ds.A.Len(), ds.B.Len(), ds.Truth.NumMatches())
+	fmt.Printf("found %d matches in %d iteration(s)\n", len(res.Matches), res.Iterations)
+	fmt.Printf("estimated: P=%.1f%%±%.1f R=%.1f%%±%.1f F1=%.1f%%\n",
+		100*res.EstimatedPrecision.Point, 100*res.EstimatedPrecision.Margin,
+		100*res.EstimatedRecall.Point, 100*res.EstimatedRecall.Margin, res.EstimatedF1)
+	fmt.Printf("true:      %v\n", res.True)
+	fmt.Printf("crowd:     $%.2f for %d labeled pairs (%d answers)\n",
+		res.Accounting.Cost, res.Accounting.Pairs, res.Accounting.Answers)
+
+	fmt.Println("\nfirst five matches:")
+	for i, m := range res.Matches {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-40q  <->  %q\n", ds.A.Value(int(m.A), "name"), ds.B.Value(int(m.B), "name"))
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/corleone-em/corleone
+
+go 1.22

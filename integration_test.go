@@ -1,0 +1,110 @@
+package corleone
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestIntegrationJournalistScenario drives the README's headline scenario
+// end to end through the public API only: CSV-shaped data with inferred
+// schema, a noisy crowd, a budget, progress events, model persistence, and
+// label-cache reuse semantics.
+func TestIntegrationJournalistScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline integration")
+	}
+	// The "two donor lists" stand-in, with gold truth for the simulation.
+	ds := GenerateDataset(ScaledProfile(RestaurantsProfile, 0.5))
+	crowd := NewSimulatedCrowd(ds.Truth, 0.05, 101)
+
+	cfg := DefaultConfig()
+	cfg.Seed = 103
+	cfg.Budget = 50
+	var phases []string
+	cfg.Listener = func(e Event) { phases = append(phases, e.Phase) }
+
+	res, err := Run(ds, crowd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The user's deliverables: matches + a trustworthy estimate.
+	if len(res.Matches) == 0 {
+		t.Fatal("no matches")
+	}
+	if res.EstimatedF1 <= 0 {
+		t.Error("no accuracy estimate")
+	}
+	gap := res.EstimatedF1 - res.True.F1
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 10 {
+		t.Errorf("estimate off by %.1f points (est %.1f vs true %.1f)",
+			gap, res.EstimatedF1, res.True.F1)
+	}
+	if res.Accounting.Cost > cfg.Budget {
+		t.Errorf("budget exceeded: $%.2f", res.Accounting.Cost)
+	}
+	if len(phases) == 0 {
+		t.Error("no progress events")
+	}
+
+	// The model survives a save/load cycle and keeps matching.
+	var buf bytes.Buffer
+	if err := res.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	model, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := model.Match(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := EvaluateMatches(pred, ds.Truth); m.F1 < 85 {
+		t.Errorf("reloaded model F1 = %.1f", m.F1)
+	}
+}
+
+// TestIntegrationAllDatasetsShort is the cheapest full-pipeline sweep over
+// all three dataset shapes — a smoke alarm for cross-module regressions.
+func TestIntegrationAllDatasetsShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three pipeline runs")
+	}
+	for _, tc := range []struct {
+		name  string
+		scale float64
+		minF1 float64
+	}{
+		{"Restaurants", 0.3, 85},
+		{"Citations", 0.03, 75},
+		{"Products", 0.05, 55},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var profile DatasetProfile
+			switch tc.name {
+			case "Restaurants":
+				profile = RestaurantsProfile
+			case "Citations":
+				profile = CitationsProfile
+			case "Products":
+				profile = ProductsProfile
+			}
+			ds := GenerateDataset(ScaledProfile(profile, tc.scale))
+			cfg := DefaultConfig()
+			cfg.Seed = 107
+			cfg.Blocker.TB = int(ds.CartesianSize()/4) + 1
+			res, err := Run(ds, NewSimulatedCrowd(ds.Truth, 0.05, 109), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.True.F1 < tc.minF1 {
+				t.Errorf("F1 = %.1f, want >= %.0f", res.True.F1, tc.minF1)
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package blocker
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/similarity"
+	"github.com/corleone-em/corleone/internal/strutil"
+)
+
+// DevRule is a hand-written blocking predicate: it returns true when the
+// pair is obviously NOT a match and should be dropped. These play the
+// paper's "developer well versed in EM" (§9.2's Table 3 comparison) and
+// supply the blocking step of Baselines 1 and 2 (Table 2).
+type DevRule func(a, b record.Tuple) bool
+
+// DeveloperRules returns the hand-written blocking rules for a dataset by
+// name, together with a short description. Unknown datasets get a generic
+// first-string-attribute rule.
+func DeveloperRules(ds *record.Dataset) ([]DevRule, string) {
+	switch ds.Name {
+	case "Restaurants":
+		// Small data — a developer would not block, matching the paper.
+		return nil, "no blocking (Cartesian product is small)"
+	case "Citations":
+		ti := ds.A.Schema.Index("title")
+		return []DevRule{
+			func(a, b record.Tuple) bool {
+				return similarity.JaccardWords(a[ti], b[ti]) < 0.12
+			},
+		}, "drop pairs with title word-Jaccard < 0.12"
+	case "Products":
+		bi := ds.A.Schema.Index("brand")
+		ni := ds.A.Schema.Index("name")
+		return []DevRule{
+			func(a, b record.Tuple) bool {
+				return strutil.Normalize(a[bi]) != strutil.Normalize(b[bi])
+			},
+			func(a, b record.Tuple) bool {
+				return similarity.JaccardWords(a[ni], b[ni]) < 0.1
+			},
+		}, "drop pairs with different brands or name word-Jaccard < 0.1"
+	default:
+		return []DevRule{
+			func(a, b record.Tuple) bool {
+				return similarity.JaccardWords(a[0], b[0]) < 0.2
+			},
+		}, "drop pairs with first-attribute word-Jaccard < 0.2"
+	}
+}
+
+// ApplyDevRules scans A×B with the hand-written rules in parallel and
+// returns the surviving candidate pairs.
+func ApplyDevRules(ds *record.Dataset, rules []DevRule) []record.Pair {
+	na, nb := ds.A.Len(), ds.B.Len()
+	if len(rules) == 0 {
+		return allPairs(ds)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > na {
+		workers = na
+	}
+	parts := make([][]record.Pair, workers)
+	var wg sync.WaitGroup
+	chunk := (na + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > na {
+			hi = na
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []record.Pair
+			for a := lo; a < hi; a++ {
+				rowA := ds.A.Rows[a]
+				for b := 0; b < nb; b++ {
+					rowB := ds.B.Rows[b]
+					blocked := false
+					for _, r := range rules {
+						if r(rowA, rowB) {
+							blocked = true
+							break
+						}
+					}
+					if !blocked {
+						out = append(out, record.P(a, b))
+					}
+				}
+			}
+			parts[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []record.Pair
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

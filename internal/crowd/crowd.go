@@ -1,0 +1,299 @@
+// Package crowd implements Corleone's crowd engagement layer (§8): a Crowd
+// abstraction over answer sources, the random-worker simulation model used
+// by the paper's own sensitivity analysis, HIT batching (10 questions per
+// HIT), the 2+1 / strong-majority / hybrid voting schemes, the label cache
+// with reuse semantics, and per-question cost accounting.
+package crowd
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// Crowd produces one worker's answer to "does pair p match?". Each call
+// represents a distinct worker answering one question.
+type Crowd interface {
+	Answer(p record.Pair) bool
+}
+
+// Oracle is a perfect crowd: every answer equals the ground truth. It is
+// the 0%-error point of the paper's sensitivity analysis and the reference
+// crowd for tests.
+type Oracle struct {
+	Truth *record.GroundTruth
+}
+
+// Answer implements Crowd.
+func (o *Oracle) Answer(p record.Pair) bool { return o.Truth.Match(p) }
+
+// Simulated is the random-worker model of [Ipeirotis et al.] the paper uses
+// for simulation (§9.3): each answer independently flips the true label
+// with probability ErrorRate. Safe for concurrent use.
+type Simulated struct {
+	Truth     *record.GroundTruth
+	ErrorRate float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewSimulated builds a simulated crowd with the given error rate and seed.
+func NewSimulated(truth *record.GroundTruth, errorRate float64, seed int64) *Simulated {
+	return &Simulated{Truth: truth, ErrorRate: errorRate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Answer implements Crowd.
+func (s *Simulated) Answer(p record.Pair) bool {
+	truth := s.Truth.Match(p)
+	s.mu.Lock()
+	flip := s.rng.Float64() < s.ErrorRate
+	s.mu.Unlock()
+	if flip {
+		return !truth
+	}
+	return truth
+}
+
+// Policy selects the voting scheme for combining noisy answers (§8.2).
+type Policy int
+
+const (
+	// Policy21 is plain 2+1 majority voting: two answers, a third to break
+	// disagreement.
+	Policy21 Policy = iota
+	// PolicyStrong always escalates: solicit until the majority leads by
+	// at least 3, or 7 answers total.
+	PolicyStrong
+	// PolicyHybrid is the paper's final scheme: 2+1, escalating to strong
+	// majority only when the running majority is positive, because false
+	// positives distort recall estimation far more than false negatives.
+	PolicyHybrid
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Policy21:
+		return "2+1"
+	case PolicyStrong:
+		return "strong"
+	case PolicyHybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
+// Accounting tracks crowd spend: every solicited answer costs
+// PricePerQuestion, and Pairs counts distinct pairs ever labeled (the
+// "# Pairs" columns of Tables 2–4).
+type Accounting struct {
+	// Answers is the total number of worker answers solicited.
+	Answers int
+	// Pairs is the number of distinct pairs labeled.
+	Pairs int
+	// Cost is the total dollars paid to the crowd.
+	Cost float64
+	// HITs is the number of 10-question HITs posted (training batches).
+	HITs int
+}
+
+// entry is a cached labeling of one pair: all answers solicited so far and
+// the policy strength the stored label satisfies.
+type entry struct {
+	answers []bool
+	label   bool
+	settled Policy // strongest policy whose stopping rule the answers satisfy
+	hasSeed bool   // a user-supplied seed label: authoritative, never re-asked
+}
+
+// Runner engages the crowd: it owns the label cache, voting, HIT packing,
+// and accounting. Not safe for concurrent use; Corleone's control flow is
+// sequential between crowd calls, as the paper's is.
+type Runner struct {
+	crowd Crowd
+	price float64
+	cache map[record.Pair]*entry
+	acct  Accounting
+}
+
+// HITSize is the number of questions per HIT (§8.1).
+const HITSize = 10
+
+// NewRunner wraps a crowd with the given per-question price.
+func NewRunner(c Crowd, pricePerQuestion float64) *Runner {
+	return &Runner{crowd: c, price: pricePerQuestion, cache: make(map[record.Pair]*entry)}
+}
+
+// Stats returns a copy of the accounting so far.
+func (r *Runner) Stats() Accounting { return r.acct }
+
+// SeedLabels installs the user-supplied labeled examples (§3's two positive
+// and two negative seeds) into the cache as authoritative labels that never
+// hit the crowd.
+func (r *Runner) SeedLabels(seeds []record.Labeled) {
+	for _, s := range seeds {
+		r.cache[s.Pair] = &entry{label: s.Match, settled: PolicyStrong, hasSeed: true}
+	}
+}
+
+// AllLabeled returns every pair the runner has a settled label for (seeds
+// and crowd-voted), sorted by pair so callers iterate deterministically.
+// Used to reuse labels across modules (§8.3) without re-asking the crowd.
+func (r *Runner) AllLabeled() []record.Labeled {
+	pairs := make([]record.Pair, 0, len(r.cache))
+	for p, e := range r.cache {
+		if e.hasSeed || len(e.answers) >= 2 {
+			pairs = append(pairs, p)
+		}
+	}
+	record.SortPairs(pairs)
+	out := make([]record.Labeled, len(pairs))
+	for i, p := range pairs {
+		out[i] = record.Labeled{Pair: p, Match: r.cache[p].label}
+	}
+	return out
+}
+
+// Cached reports whether p already has a label satisfying the policy, and
+// the label if so.
+func (r *Runner) Cached(p record.Pair, policy Policy) (bool, bool) {
+	e, ok := r.cache[p]
+	if !ok {
+		return false, false
+	}
+	if !r.satisfies(e, policy) {
+		return false, false
+	}
+	return e.label, true
+}
+
+// satisfies reports whether e's answers meet the stopping rule of policy.
+func (r *Runner) satisfies(e *entry, policy Policy) bool {
+	if e.hasSeed {
+		return true
+	}
+	switch policy {
+	case Policy21:
+		return e.settled >= Policy21 && len(e.answers) >= 2
+	case PolicyHybrid:
+		if e.settled == PolicyStrong || e.settled == PolicyHybrid {
+			return true
+		}
+		// A 2+1 label is enough under hybrid only if it is negative.
+		return len(e.answers) >= 2 && !e.label
+	case PolicyStrong:
+		return e.settled == PolicyStrong
+	}
+	return false
+}
+
+func (r *Runner) solicit(p record.Pair, e *entry) bool {
+	a := r.crowd.Answer(p)
+	e.answers = append(e.answers, a)
+	r.acct.Answers++
+	r.acct.Cost += r.price
+	return a
+}
+
+func majority(answers []bool) (label bool, lead int) {
+	pos := 0
+	for _, a := range answers {
+		if a {
+			pos++
+		}
+	}
+	neg := len(answers) - pos
+	if pos >= neg {
+		return true, pos - neg
+	}
+	return false, neg - pos
+}
+
+// Label returns the crowd label for p under the given policy, soliciting
+// only as many new answers as the cache requires (§8.3). The first time a
+// pair is labeled it counts toward Accounting.Pairs.
+func (r *Runner) Label(p record.Pair, policy Policy) bool {
+	e, ok := r.cache[p]
+	if !ok {
+		e = &entry{}
+		r.cache[p] = e
+		r.acct.Pairs++
+	}
+	if e.hasSeed || r.satisfies(e, policy) {
+		return e.label
+	}
+
+	// Phase 1: 2+1. Reuse cached answers; top up to two, then break ties.
+	for len(e.answers) < 2 {
+		r.solicit(p, e)
+	}
+	if _, lead := majority(e.answers); len(e.answers) == 2 && lead == 0 {
+		r.solicit(p, e)
+	}
+	lbl, lead := majority(e.answers)
+
+	strong := policy == PolicyStrong || (policy == PolicyHybrid && lbl)
+	if strong {
+		// Phase 2: strong majority — lead >= 3 or 7 answers (§8.2).
+		for lead < 3 && len(e.answers) < 7 {
+			r.solicit(p, e)
+			lbl, lead = majority(e.answers)
+		}
+		e.settled = PolicyStrong
+	} else {
+		e.settled = Policy21
+	}
+	e.label = lbl
+	return lbl
+}
+
+// LabelAll labels every pair under the policy and returns them in input
+// order. Used by rule evaluation and accuracy estimation, which need labels
+// for specific sampled pairs.
+func (r *Runner) LabelAll(pairs []record.Pair, policy Policy) []record.Labeled {
+	out := make([]record.Labeled, len(pairs))
+	for i, p := range pairs {
+		out[i] = record.Labeled{Pair: p, Match: r.Label(p, policy)}
+	}
+	return out
+}
+
+// LabelTrainingBatch implements the §8.3 HIT-packing semantics for an
+// active-learning batch (nominally 20 examples, two 10-question HITs):
+//
+//   - k examples already in the cache, k > HITSize: return just those k
+//     (the remaining examples are skipped this round).
+//   - k <= HITSize: pack HITSize uncached examples into one HIT (or all of
+//     them if fewer remain), label them, and return them plus the k cached.
+//   - k == 0 and len(pairs) == 20: the normal case — two full HITs.
+//
+// The returned batch is what the matcher trains on this iteration.
+func (r *Runner) LabelTrainingBatch(pairs []record.Pair, policy Policy) []record.Labeled {
+	var cached []record.Labeled
+	var fresh []record.Pair
+	for _, p := range pairs {
+		if lbl, ok := r.Cached(p, policy); ok {
+			cached = append(cached, record.Labeled{Pair: p, Match: lbl})
+		} else {
+			fresh = append(fresh, p)
+		}
+	}
+	if len(cached) > HITSize || len(fresh) == 0 {
+		return cached
+	}
+	// Pack complete HITs out of the uncached examples. With the nominal
+	// batch of 20 and k <= 10 cached, this is exactly one or two HITs.
+	want := len(fresh)
+	if len(cached) > 0 && want > HITSize {
+		want = HITSize
+	}
+	out := cached
+	for i := 0; i < want; i++ {
+		out = append(out, record.Labeled{Pair: fresh[i], Match: r.Label(fresh[i], policy)})
+	}
+	r.acct.HITs += (want + HITSize - 1) / HITSize
+	return out
+}

@@ -1,0 +1,164 @@
+package crowd
+
+import (
+	"math"
+	"sort"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// DawidSkeneResult is the output of EM label aggregation: posterior match
+// probabilities per pair and a two-parameter confusion model per worker.
+type DawidSkeneResult struct {
+	// Posterior[p] is P(match | votes) for pair p.
+	Posterior map[record.Pair]float64
+	// Labels[p] thresholds the posterior at 0.5.
+	Labels map[record.Pair]bool
+	// Sensitivity[w] is worker w's estimated P(answer yes | true match);
+	// Specificity[w] is P(answer no | true non-match). A spammer sits near
+	// (0.5, 0.5); an adversary below (0.5, 0.5).
+	Sensitivity []float64
+	Specificity []float64
+	// Prior is the estimated overall match prevalence.
+	Prior float64
+	// Iterations is the number of EM rounds until convergence.
+	Iterations int
+}
+
+// DawidSkene runs the classic Dawid-Skene EM algorithm (the "[13]"
+// expectation-maximization scheme §8.2 discusses) on attributed votes.
+// numWorkers bounds the worker ids appearing in votes. maxIter and tol
+// control convergence (posteriors moving less than tol ends the loop).
+//
+// Initialization is majority vote, the standard warm start. Laplace
+// smoothing keeps degenerate workers (all answers identical) from
+// producing 0/1 probabilities that freeze EM.
+func DawidSkene(votes []Vote, numWorkers, maxIter int, tol float64) *DawidSkeneResult {
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	// Index votes by pair, deterministically.
+	byPair := map[record.Pair][]Vote{}
+	for _, v := range votes {
+		byPair[v.Pair] = append(byPair[v.Pair], v)
+	}
+	pairs := make([]record.Pair, 0, len(byPair))
+	for p := range byPair {
+		pairs = append(pairs, p)
+	}
+	record.SortPairs(pairs)
+
+	res := &DawidSkeneResult{
+		Posterior:   make(map[record.Pair]float64, len(pairs)),
+		Labels:      make(map[record.Pair]bool, len(pairs)),
+		Sensitivity: make([]float64, numWorkers),
+		Specificity: make([]float64, numWorkers),
+	}
+	if len(pairs) == 0 {
+		return res
+	}
+
+	// Init posteriors from majority vote, softened.
+	post := make(map[record.Pair]float64, len(pairs))
+	for _, p := range pairs {
+		pos, n := 0, 0
+		for _, v := range byPair[p] {
+			n++
+			if v.Answer {
+				pos++
+			}
+		}
+		post[p] = (float64(pos) + 0.5) / (float64(n) + 1)
+	}
+
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		// M step: worker confusion and prior from soft labels.
+		sensNum := make([]float64, numWorkers)
+		sensDen := make([]float64, numWorkers)
+		specNum := make([]float64, numWorkers)
+		specDen := make([]float64, numWorkers)
+		prior := 0.0
+		for _, p := range pairs {
+			mu := post[p]
+			prior += mu
+			for _, v := range byPair[p] {
+				sensDen[v.Worker] += mu
+				specDen[v.Worker] += 1 - mu
+				if v.Answer {
+					sensNum[v.Worker] += mu
+				} else {
+					specNum[v.Worker] += 1 - mu
+				}
+			}
+		}
+		prior /= float64(len(pairs))
+		for w := 0; w < numWorkers; w++ {
+			// Laplace smoothing with one pseudo-correct, one pseudo-wrong.
+			res.Sensitivity[w] = (sensNum[w] + 1) / (sensDen[w] + 2)
+			res.Specificity[w] = (specNum[w] + 1) / (specDen[w] + 2)
+		}
+
+		// E step: posteriors from the worker model, in log space.
+		maxDelta := 0.0
+		for _, p := range pairs {
+			lpos := math.Log(clampProb(prior))
+			lneg := math.Log(clampProb(1 - prior))
+			for _, v := range byPair[p] {
+				se := clampProb(res.Sensitivity[v.Worker])
+				sp := clampProb(res.Specificity[v.Worker])
+				if v.Answer {
+					lpos += math.Log(se)
+					lneg += math.Log(1 - sp)
+				} else {
+					lpos += math.Log(1 - se)
+					lneg += math.Log(sp)
+				}
+			}
+			// Normalize via log-sum-exp.
+			m := math.Max(lpos, lneg)
+			mu := math.Exp(lpos-m) / (math.Exp(lpos-m) + math.Exp(lneg-m))
+			if d := math.Abs(mu - post[p]); d > maxDelta {
+				maxDelta = d
+			}
+			post[p] = mu
+		}
+		res.Prior = prior
+		if maxDelta < tol {
+			break
+		}
+	}
+
+	for _, p := range pairs {
+		res.Posterior[p] = post[p]
+		res.Labels[p] = post[p] > 0.5
+	}
+	return res
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-9
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+// RankWorkersByQuality returns worker ids ordered best-first by estimated
+// balanced accuracy (mean of sensitivity and specificity). Useful for
+// screening: the bottom of this ranking is where spammers live.
+func (r *DawidSkeneResult) RankWorkersByQuality() []int {
+	ids := make([]int, len(r.Sensitivity))
+	for i := range ids {
+		ids[i] = i
+	}
+	quality := func(w int) float64 { return (r.Sensitivity[w] + r.Specificity[w]) / 2 }
+	sort.SliceStable(ids, func(i, j int) bool { return quality(ids[i]) > quality(ids[j]) })
+	return ids
+}

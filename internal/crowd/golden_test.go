@@ -1,0 +1,78 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+func TestGoldenGateBansSpammers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	truth, pairs := panelTruth(200, rng)
+	specs := []WorkerSpec{
+		{Diligent, 0.95}, {Diligent, 0.95},
+		{Adversarial, 0.95}, {Adversarial, 0.95},
+	}
+	p := NewPanel(truth, specs, 12)
+	gold := []record.Labeled{}
+	for i := 0; i < 12; i++ {
+		gold = append(gold, record.Labeled{Pair: pairs[i], Match: truth.Match(pairs[i])})
+	}
+	gate := NewGoldenGate(p, gold, 0.75, 8)
+
+	// Drive enough questions that every worker gets screened.
+	correct := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		q := pairs[10+i%150]
+		if gate.Answer(q) == truth.Match(q) {
+			correct++
+		}
+	}
+	banned := gate.Banned()
+	for _, w := range banned {
+		if w < 2 {
+			t.Errorf("diligent worker %d banned", w)
+		}
+	}
+	if len(banned) < 2 {
+		t.Errorf("banned = %v, want both adversaries", banned)
+	}
+	// With adversaries screened out, accuracy approaches the diligent rate.
+	if rate := float64(correct) / n; rate < 0.88 {
+		t.Errorf("gated accuracy %.3f, want >= 0.88", rate)
+	}
+	if gate.GoldenQuestionsSpent() == 0 {
+		t.Error("no golden questions spent")
+	}
+}
+
+func TestGoldenGateAllBannedFallsThrough(t *testing.T) {
+	truth := record.NewGroundTruth([]record.Pair{record.P(0, 0)})
+	p := NewPanel(truth, []WorkerSpec{{Adversarial, 1}}, 13)
+	gold := []record.Labeled{{Pair: record.P(0, 0), Match: true}}
+	gate := NewGoldenGate(p, gold, 0.75, 1)
+	// Must terminate even though every worker fails screening.
+	_ = gate.Answer(record.P(0, 0))
+}
+
+func TestEffectiveErrorRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	truth, pairs := panelTruth(50, rng)
+	var gold []record.Labeled
+	for _, p := range pairs[:20] {
+		gold = append(gold, record.Labeled{Pair: p, Match: truth.Match(p)})
+	}
+	c := NewSimulated(truth, 0.15, 15)
+	rate, margin := EffectiveErrorRate(c, gold, 2000, 0.95)
+	if rate < 0.12 || rate > 0.18 {
+		t.Errorf("profiled error rate %.3f, want ~0.15", rate)
+	}
+	if margin <= 0 || margin > 0.05 {
+		t.Errorf("margin = %v", margin)
+	}
+	if r, m := EffectiveErrorRate(c, nil, 100, 0.95); r != 0 || m != 1 {
+		t.Error("no gold questions should return (0, 1)")
+	}
+}

@@ -1,0 +1,145 @@
+package crowd
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// WorkerKind describes a simulated worker archetype. Real crowds mix
+// diligent workers with spammers and the occasional adversary; §8.2's
+// aggregation schemes exist to survive exactly this mix.
+type WorkerKind int
+
+const (
+	// Diligent workers answer correctly with their individual accuracy.
+	Diligent WorkerKind = iota
+	// Spammer workers answer uniformly at random, ignoring the question.
+	Spammer
+	// Adversarial workers answer incorrectly with their "accuracy"
+	// (i.e., they are reliably wrong).
+	Adversarial
+)
+
+// WorkerSpec describes one simulated worker.
+type WorkerSpec struct {
+	Kind WorkerKind
+	// Accuracy is the per-answer probability of the kind's characteristic
+	// behaviour: correctness for Diligent, wrongness for Adversarial;
+	// ignored for Spammer.
+	Accuracy float64
+}
+
+// Panel is a crowd of heterogeneous simulated workers. Each call to Answer
+// picks a random worker; AnswerAs also reports which worker answered, for
+// aggregation schemes that model worker quality. Safe for concurrent use.
+type Panel struct {
+	Truth   *record.GroundTruth
+	workers []WorkerSpec
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewPanel builds a panel over the gold standard.
+func NewPanel(truth *record.GroundTruth, workers []WorkerSpec, seed int64) *Panel {
+	if len(workers) == 0 {
+		panic("crowd: empty panel")
+	}
+	return &Panel{Truth: truth, workers: workers, rng: rand.New(rand.NewSource(seed))}
+}
+
+// UniformPanel builds n diligent workers with the same accuracy.
+func UniformPanel(truth *record.GroundTruth, n int, accuracy float64, seed int64) *Panel {
+	ws := make([]WorkerSpec, n)
+	for i := range ws {
+		ws[i] = WorkerSpec{Kind: Diligent, Accuracy: accuracy}
+	}
+	return NewPanel(truth, ws, seed)
+}
+
+// MixedPanel builds the standard stress mix: nGood diligent workers at the
+// given accuracy plus nSpam spammers.
+func MixedPanel(truth *record.GroundTruth, nGood int, accuracy float64,
+	nSpam int, seed int64) *Panel {
+
+	ws := make([]WorkerSpec, 0, nGood+nSpam)
+	for i := 0; i < nGood; i++ {
+		ws = append(ws, WorkerSpec{Kind: Diligent, Accuracy: accuracy})
+	}
+	for i := 0; i < nSpam; i++ {
+		ws = append(ws, WorkerSpec{Kind: Spammer})
+	}
+	return NewPanel(truth, ws, seed)
+}
+
+// NumWorkers returns the panel size.
+func (p *Panel) NumWorkers() int { return len(p.workers) }
+
+// Answer implements Crowd: a random worker answers.
+func (p *Panel) Answer(pair record.Pair) bool {
+	a, _ := p.AnswerAs(pair)
+	return a
+}
+
+// AnswerAs returns one answer along with the answering worker's id.
+func (p *Panel) AnswerAs(pair record.Pair) (answer bool, worker int) {
+	truth := p.Truth.Match(pair)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	worker = p.rng.Intn(len(p.workers))
+	w := p.workers[worker]
+	switch w.Kind {
+	case Spammer:
+		return p.rng.Float64() < 0.5, worker
+	case Adversarial:
+		if p.rng.Float64() < w.Accuracy {
+			return !truth, worker
+		}
+		return truth, worker
+	default:
+		if p.rng.Float64() < w.Accuracy {
+			return truth, worker
+		}
+		return !truth, worker
+	}
+}
+
+// Vote is one worker's recorded answer to one question, the input unit for
+// the aggregation schemes below.
+type Vote struct {
+	Pair   record.Pair
+	Worker int
+	Answer bool
+}
+
+// CollectVotes asks the panel for k attributed answers per pair.
+func CollectVotes(p *Panel, pairs []record.Pair, k int) []Vote {
+	votes := make([]Vote, 0, len(pairs)*k)
+	for _, pair := range pairs {
+		for i := 0; i < k; i++ {
+			a, w := p.AnswerAs(pair)
+			votes = append(votes, Vote{Pair: pair, Worker: w, Answer: a})
+		}
+	}
+	return votes
+}
+
+// MajorityLabels aggregates votes per pair by simple majority (ties go
+// negative, EM's safe default).
+func MajorityLabels(votes []Vote) map[record.Pair]bool {
+	pos := map[record.Pair]int{}
+	tot := map[record.Pair]int{}
+	for _, v := range votes {
+		tot[v.Pair]++
+		if v.Answer {
+			pos[v.Pair]++
+		}
+	}
+	out := make(map[record.Pair]bool, len(tot))
+	for p, n := range tot {
+		out[p] = pos[p]*2 > n
+	}
+	return out
+}

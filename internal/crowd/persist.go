@@ -1,0 +1,72 @@
+package crowd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// savedEntry is the serialized form of one cached labeling.
+type savedEntry struct {
+	A       int32  `json:"a"`
+	B       int32  `json:"b"`
+	Answers []bool `json:"answers,omitempty"`
+	Label   bool   `json:"label"`
+	Settled int    `json:"settled"`
+	Seed    bool   `json:"seed,omitempty"`
+}
+
+// SaveLabels serializes the runner's label cache (every answer collected,
+// vote states, seeds) as JSON. Crowd labels are paid for; persisting them
+// lets a resumed or re-configured run reuse them at zero cost — the §8.3
+// cache made durable.
+func (r *Runner) SaveLabels(w io.Writer) error {
+	var out []savedEntry
+	for _, l := range r.AllLabeled() {
+		e := r.cache[l.Pair]
+		out = append(out, savedEntry{
+			A:       l.Pair.A,
+			B:       l.Pair.B,
+			Answers: e.answers,
+			Label:   e.label,
+			Settled: int(e.settled),
+			Seed:    e.hasSeed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// LoadLabels merges previously saved labels into the cache. Existing
+// entries are kept (the live cache may have more answers than the file).
+// Returns the number of entries loaded.
+func (r *Runner) LoadLabels(rd io.Reader) (int, error) {
+	var in []savedEntry
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return 0, fmt.Errorf("crowd: load labels: %w", err)
+	}
+	n := 0
+	for _, e := range in {
+		p := record.Pair{A: e.A, B: e.B}
+		if _, exists := r.cache[p]; exists {
+			continue
+		}
+		if e.Settled < 0 || e.Settled > int(PolicyHybrid) {
+			return n, fmt.Errorf("crowd: entry %v has invalid vote state %d", p, e.Settled)
+		}
+		r.cache[p] = &entry{
+			answers: e.Answers,
+			label:   e.Label,
+			settled: Policy(e.Settled),
+			hasSeed: e.Seed,
+		}
+		// Loaded labels were paid for in an earlier session; they count as
+		// labeled pairs for reporting but add no new cost.
+		r.acct.Pairs++
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,78 @@
+package crowd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+func TestSaveLoadLabels(t *testing.T) {
+	truth := truth2()
+	r1 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	r1.SeedLabels([]record.Labeled{{Pair: record.P(9, 9), Match: true}})
+	r1.Label(record.P(0, 0), PolicyHybrid) // positive, strong-settled
+	r1.Label(record.P(0, 1), Policy21)     // negative, 2+1-settled
+
+	var buf bytes.Buffer
+	if err := r1.SaveLabels(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	n, err := r2.LoadLabels(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d entries, want 3", n)
+	}
+	// Cached labels must serve without soliciting new answers.
+	if lbl := r2.Label(record.P(0, 0), PolicyHybrid); !lbl {
+		t.Error("restored positive label lost")
+	}
+	if lbl := r2.Label(record.P(0, 1), Policy21); lbl {
+		t.Error("restored negative label lost")
+	}
+	if lbl := r2.Label(record.P(9, 9), PolicyStrong); !lbl {
+		t.Error("restored seed label lost")
+	}
+	if r2.Stats().Answers != 0 || r2.Stats().Cost != 0 {
+		t.Errorf("restored labels cost money: %+v", r2.Stats())
+	}
+	// A 2+1 negative does NOT satisfy strong; upgrading solicits answers.
+	r2.Label(record.P(0, 1), PolicyStrong)
+	if r2.Stats().Answers == 0 {
+		t.Error("strong upgrade of a 2+1 label should solicit answers")
+	}
+}
+
+func TestLoadLabelsKeepsExisting(t *testing.T) {
+	truth := truth2()
+	r1 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	r1.Label(record.P(0, 0), Policy21)
+	var buf bytes.Buffer
+	if err := r1.SaveLabels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// r2 already has a conflicting (seed) label; load must not clobber it.
+	r2 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	r2.SeedLabels([]record.Labeled{{Pair: record.P(0, 0), Match: false}})
+	if _, err := r2.LoadLabels(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if lbl := r2.Label(record.P(0, 0), Policy21); lbl {
+		t.Error("load clobbered an existing entry")
+	}
+}
+
+func TestLoadLabelsRejectsGarbage(t *testing.T) {
+	r := NewRunner(&Oracle{Truth: truth2()}, 0.01)
+	if _, err := r.LoadLabels(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := r.LoadLabels(strings.NewReader(`[{"a":0,"b":0,"settled":99}]`)); err == nil {
+		t.Error("invalid vote state accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package crowd
+
+import "math"
+
+// ResponseModel captures §10's money-time tradeoff: paying more per
+// question attracts workers faster, with diminishing returns. The model is
+// a standard crowd-market abstraction — worker arrivals follow a rate that
+// grows as a power of the pay rate, and each worker processes HITs at a
+// fixed service rate — calibrated here to the AMT folklore the paper
+// alludes to (a 1-cent EM task draws a trickle; a 5-cent one a crowd).
+type ResponseModel struct {
+	// BaseArrivalPerHour is the worker arrival rate at 1 cent/question.
+	BaseArrivalPerHour float64
+	// PayElasticity is the exponent on pay: rate = base * price^elasticity.
+	// Empirical crowd studies put it below 1 (diminishing returns).
+	PayElasticity float64
+	// HITMinutes is one worker's service time for a 10-question HIT.
+	HITMinutes float64
+}
+
+// DefaultResponseModel returns a conservative AMT-like calibration:
+// 12 workers/hour at 1 cent, elasticity 0.7, 2 minutes per HIT.
+func DefaultResponseModel() ResponseModel {
+	return ResponseModel{BaseArrivalPerHour: 12, PayElasticity: 0.7, HITMinutes: 2}
+}
+
+// WorkersPerHour returns the expected arrival rate at the given price.
+func (m ResponseModel) WorkersPerHour(priceCents float64) float64 {
+	if priceCents <= 0 {
+		return 0
+	}
+	return m.BaseArrivalPerHour * math.Pow(priceCents, m.PayElasticity)
+}
+
+// CompletionHours estimates the wall-clock time to collect votesPerQ
+// answers for each of n questions at the given price. Work is bounded by
+// worker throughput: each arriving worker clears one 10-question HIT per
+// service period, and a worker may answer each question at most once, so
+// at least votesPerQ distinct workers must arrive.
+func (m ResponseModel) CompletionHours(n, votesPerQ int, priceCents float64) float64 {
+	if n <= 0 || votesPerQ <= 0 {
+		return 0
+	}
+	rate := m.WorkersPerHour(priceCents)
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	hits := float64((n+HITSize-1)/HITSize) * float64(votesPerQ)
+	serviceHours := m.HITMinutes / 60
+	// Throughput-limited: arriving workers process HITs in parallel.
+	throughput := hits / rate * 1 // one HIT per arrival
+	// Distinct-worker floor: the votesPerQ-th vote cannot arrive before
+	// votesPerQ workers have.
+	floor := float64(votesPerQ) / rate
+	return math.Max(throughput, floor) + serviceHours
+}
+
+// CostDollars is the crowd payment for the same batch.
+func (m ResponseModel) CostDollars(n, votesPerQ int, priceCents float64) float64 {
+	return float64(n) * float64(votesPerQ) * priceCents / 100
+}
+
+// CheapestWithinDeadline returns the lowest integer price (in cents) that
+// completes n questions with votesPerQ votes within deadlineHours and
+// within budgetDollars. ok is false when no price in [1, 100] satisfies
+// both constraints.
+func (m ResponseModel) CheapestWithinDeadline(n, votesPerQ int,
+	budgetDollars, deadlineHours float64) (priceCents int, ok bool) {
+
+	for price := 1; price <= 100; price++ {
+		if m.CompletionHours(n, votesPerQ, float64(price)) > deadlineHours {
+			continue
+		}
+		if m.CostDollars(n, votesPerQ, float64(price)) > budgetDollars {
+			return 0, false // faster is only more expensive
+		}
+		return price, true
+	}
+	return 0, false
+}

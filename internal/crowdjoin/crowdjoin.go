@@ -1,0 +1,100 @@
+// Package crowdjoin exposes Corleone as a hands-off crowdsourced JOIN
+// operator — §10's proposal that crowdsourced RDBMSs (CrowdDB, Deco, Qurk)
+// could execute entity-resolution joins on large tables without a
+// developer writing blocking rules or training matchers. EntityJoin runs
+// the full Corleone pipeline between two tables and materializes the
+// joined rows, with the accuracy estimate attached the way a query plan
+// carries cardinality confidence.
+package crowdjoin
+
+import (
+	"fmt"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/engine"
+	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/stats"
+)
+
+// Options configures an entity join.
+type Options struct {
+	// Instruction tells the crowd what "equal" means for this join.
+	Instruction string
+	// Seeds are the 2+2 illustrating examples (§3).
+	Seeds []record.Labeled
+	// Engine overrides the pipeline configuration; zero value uses the
+	// paper's defaults.
+	Engine engine.Config
+}
+
+// Result is a materialized crowdsourced join.
+type Result struct {
+	// Schema is the output schema: A's attributes prefixed "a.", then B's
+	// prefixed "b.".
+	Schema record.Schema
+	// Rows holds one concatenated tuple per matched pair, aligned with
+	// Pairs.
+	Rows []record.Tuple
+	// Pairs are the matched (rowA, rowB) pairs.
+	Pairs []record.Pair
+	// EstimatedPrecision / EstimatedRecall qualify the join output: the
+	// fraction of emitted rows that truly join, and the fraction of true
+	// join rows emitted.
+	EstimatedPrecision stats.Interval
+	EstimatedRecall    stats.Interval
+	// Cost is the crowd spend that produced the join.
+	Cost float64
+	// Run is the full underlying pipeline report.
+	Run *engine.Result
+}
+
+// EntityJoin joins tables a and b on crowd-judged entity equality. The
+// tables must share a schema (attribute names and order), as Corleone's
+// matching setting requires.
+func EntityJoin(a, b *record.Table, c crowd.Crowd, opts Options) (*Result, error) {
+	ds := &record.Dataset{
+		Name:        fmt.Sprintf("join(%s,%s)", a.Name, b.Name),
+		A:           a,
+		B:           b,
+		Instruction: opts.Instruction,
+		Seeds:       opts.Seeds,
+	}
+	cfg := opts.Engine
+	if cfg.MaxIterations == 0 && cfg.PricePerQuestion == 0 {
+		cfg = engine.Defaults()
+	}
+	run, err := engine.Run(ds, c, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("crowdjoin: %w", err)
+	}
+
+	out := &Result{
+		Pairs:              run.Matches,
+		EstimatedPrecision: run.EstimatedPrecision,
+		EstimatedRecall:    run.EstimatedRecall,
+		Cost:               run.Accounting.Cost,
+		Run:                run,
+	}
+	out.Schema = make(record.Schema, 0, len(a.Schema)+len(b.Schema))
+	for _, attr := range a.Schema {
+		out.Schema = append(out.Schema, record.Attribute{Name: "a." + attr.Name, Type: attr.Type})
+	}
+	for _, attr := range b.Schema {
+		out.Schema = append(out.Schema, record.Attribute{Name: "b." + attr.Name, Type: attr.Type})
+	}
+	for _, m := range run.Matches {
+		row := make(record.Tuple, 0, len(out.Schema))
+		row = append(row, a.Rows[m.A]...)
+		row = append(row, b.Rows[m.B]...)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Table materializes the join result as a record.Table, ready for CSV
+// export or further processing.
+func (r *Result) Table(name string) *record.Table {
+	t := record.NewTable(name, r.Schema)
+	t.Rows = append(t.Rows, r.Rows...)
+	return t
+}

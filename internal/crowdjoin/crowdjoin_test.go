@@ -1,0 +1,167 @@
+package crowdjoin
+
+import (
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/datagen"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+func TestEntityJoin(t *testing.T) {
+	ds := datagen.Generate(datagen.Scaled(datagen.RestaurantsPaper, 0.4))
+	res, err := EntityJoin(ds.A, ds.B, &crowd.Oracle{Truth: ds.Truth}, Options{
+		Instruction: ds.Instruction,
+		Seeds:       ds.Seeds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("empty join")
+	}
+	if len(res.Rows) != len(res.Pairs) {
+		t.Fatal("rows/pairs misaligned")
+	}
+	wantWidth := len(ds.A.Schema) + len(ds.B.Schema)
+	for _, row := range res.Rows {
+		if len(row) != wantWidth {
+			t.Fatalf("row width %d, want %d", len(row), wantWidth)
+		}
+	}
+	// Join correctness against the gold standard.
+	tp := ds.Truth.CountMatchesIn(res.Pairs)
+	prec := float64(tp) / float64(len(res.Pairs))
+	rec := float64(tp) / float64(ds.Truth.NumMatches())
+	if prec < 0.9 || rec < 0.9 {
+		t.Errorf("join P=%.2f R=%.2f, want >= 0.9 with an oracle crowd", prec, rec)
+	}
+	if res.Cost <= 0 {
+		t.Error("join should cost crowd money")
+	}
+	// Schema prefixes.
+	if res.Schema[0].Name != "a.name" {
+		t.Errorf("schema[0] = %q", res.Schema[0].Name)
+	}
+	if res.Schema[len(ds.A.Schema)].Name != "b.name" {
+		t.Errorf("schema[b0] = %q", res.Schema[len(ds.A.Schema)].Name)
+	}
+	// Materialized table round-trips.
+	tbl := res.Table("joined")
+	if tbl.Len() != len(res.Rows) {
+		t.Error("Table() lost rows")
+	}
+}
+
+func TestEntityJoinValidation(t *testing.T) {
+	ds := datagen.Generate(datagen.Scaled(datagen.RestaurantsPaper, 0.3))
+	_, err := EntityJoin(ds.A, ds.B, &crowd.Oracle{Truth: ds.Truth}, Options{
+		Instruction: "x", Seeds: ds.Seeds[:2], // too few seeds
+	})
+	if err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestClusterPairs(t *testing.T) {
+	// 0-1, 1-2 chain; 4-5 pair; 3 and 6 singletons.
+	got := clusterPairs(7, []record.Pair{record.P(0, 1), record.P(1, 2), record.P(4, 5)})
+	if len(got) != 2 {
+		t.Fatalf("clusters = %v", got)
+	}
+	if len(got[0]) != 3 || got[0][0] != 0 || got[0][2] != 2 {
+		t.Errorf("chain cluster = %v", got[0])
+	}
+	if len(got[1]) != 2 || got[1][0] != 4 {
+		t.Errorf("pair cluster = %v", got[1])
+	}
+	if len(clusterPairs(3, nil)) != 0 {
+		t.Error("no matches should give no clusters")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	// Build a single table containing duplicates: concatenate A and the
+	// matched B rows of a restaurant dataset.
+	src := datagen.Generate(datagen.Scaled(datagen.RestaurantsPaper, 0.35))
+	tbl := record.NewTable("dedup", src.A.Schema)
+	tbl.Rows = append(tbl.Rows, src.A.Rows...)
+	offset := tbl.Len()
+	dupOf := map[int]int{} // new row -> original row
+	for i, m := range src.Truth.Matches() {
+		tbl.Append(src.B.Rows[m.B])
+		dupOf[offset+i] = int(m.A)
+	}
+	// Truth over the combined table: (a, offset+i) plus symmetric and the
+	// diagonal, since the crowd may be asked about any orientation.
+	var matches []record.Pair
+	for niu, orig := range dupOf {
+		matches = append(matches, record.P(orig, niu), record.P(niu, orig))
+	}
+	for i := 0; i < tbl.Len(); i++ {
+		matches = append(matches, record.P(i, i))
+	}
+	truth := record.NewGroundTruth(matches)
+
+	seeds := []record.Labeled{}
+	added := 0
+	for niu, orig := range dupOf {
+		if added == 2 {
+			break
+		}
+		seeds = append(seeds, record.Labeled{Pair: record.P(orig, niu), Match: true})
+		added++
+	}
+	seeds = append(seeds,
+		record.Labeled{Pair: record.P(0, 1), Match: truth.Match(record.P(0, 1))},
+		record.Labeled{Pair: record.P(1, 2), Match: truth.Match(record.P(1, 2))})
+	// The two negative seeds must actually be negative; rows 0,1,2 are
+	// distinct originals, so they are.
+	res, err := Dedup(tbl, &crowd.Oracle{Truth: truth}, Options{
+		Instruction: "same restaurant?",
+		Seeds:       seeds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("no duplicate clusters found")
+	}
+	// Check cluster quality: pairs within clusters should be true dups.
+	correct, total := 0, 0
+	for _, g := range res.Clusters {
+		for i := 1; i < len(g); i++ {
+			total++
+			if truth.Match(record.P(g[0], g[i])) {
+				correct++
+			}
+		}
+	}
+	if frac := float64(correct) / float64(total); frac < 0.9 {
+		t.Errorf("cluster precision %.2f", frac)
+	}
+	// Recall: most injected duplicates recovered.
+	found := 0
+	for niu, orig := range dupOf {
+		for _, g := range res.Clusters {
+			in := func(x int) bool {
+				for _, v := range g {
+					if v == x {
+						return true
+					}
+				}
+				return false
+			}
+			if in(niu) && in(orig) {
+				found++
+				break
+			}
+		}
+	}
+	if frac := float64(found) / float64(len(dupOf)); frac < 0.8 {
+		t.Errorf("duplicate recall %.2f", frac)
+	}
+}

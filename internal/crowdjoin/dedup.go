@@ -1,0 +1,111 @@
+package crowdjoin
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// DedupResult is a deduplication of a single table: clusters of row
+// indices that refer to the same real-world entity.
+type DedupResult struct {
+	// Clusters lists each duplicate group (size >= 2), rows ascending,
+	// groups ordered by their smallest row.
+	Clusters [][]int
+	// Matches are the raw matched pairs (a < b, diagonal removed).
+	Matches []record.Pair
+	// Cost is the crowd spend.
+	Cost float64
+	// Run is the underlying pipeline report.
+	Run *joinRun
+}
+
+// joinRun is a narrow view of the engine result (keeps the dedup API
+// small).
+type joinRun struct {
+	EstimatedF1 float64
+	Iterations  int
+}
+
+// Dedup finds duplicate rows within a single table — the self-join EM
+// setting (§2 notes the two-table setting as the paper's focus and others
+// as ongoing work). It runs the hands-off pipeline on (t, t), discards the
+// trivial diagonal and mirror pairs, and clusters the matches with
+// union-find so transitive duplicates land in one group.
+func Dedup(t *record.Table, c crowd.Crowd, opts Options) (*DedupResult, error) {
+	res, err := EntityJoin(t, t, c, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: %w", err)
+	}
+	out := &DedupResult{
+		Cost: res.Cost,
+		Run:  &joinRun{EstimatedF1: 0, Iterations: res.Run.Iterations},
+	}
+	out.Run.EstimatedF1 = res.Run.EstimatedF1
+
+	seen := record.NewPairSet()
+	for _, m := range res.Pairs {
+		if m.A == m.B {
+			continue // diagonal: every row matches itself
+		}
+		a, b := m.A, m.B
+		if b < a {
+			a, b = b, a
+		}
+		p := record.Pair{A: a, B: b}
+		if seen.Has(p) {
+			continue // mirror duplicate
+		}
+		seen.Add(p)
+		out.Matches = append(out.Matches, p)
+	}
+	record.SortPairs(out.Matches)
+	out.Clusters = clusterPairs(t.Len(), out.Matches)
+	return out, nil
+}
+
+// clusterPairs groups rows with union-find over the matched pairs and
+// returns the clusters of size >= 2.
+func clusterPairs(n int, matches []record.Pair) [][]int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra // smallest row as representative
+		}
+	}
+	for _, m := range matches {
+		union(int(m.A), int(m.B))
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out [][]int
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

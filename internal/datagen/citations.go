@@ -1,0 +1,188 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// citationEntity is one publication.
+type citationEntity struct {
+	title   string
+	authors []author
+	venue   string
+	year    int
+}
+
+type author struct{ first, last string }
+
+func citationSchema() record.Schema {
+	return record.Schema{
+		{Name: "title", Type: record.AttrText},
+		{Name: "authors", Type: record.AttrString},
+		{Name: "venue", Type: record.AttrString},
+		{Name: "year", Type: record.AttrNumeric},
+	}
+}
+
+func genCitation(rng *rand.Rand) citationEntity {
+	n := 4 + rng.Intn(7)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = titleWords[rng.Intn(len(titleWords))]
+	}
+	na := 1 + rng.Intn(4)
+	authors := make([]author, na)
+	for i := range authors {
+		authors[i] = author{
+			first: firstNames[rng.Intn(len(firstNames))],
+			last:  lastNames[rng.Intn(len(lastNames))],
+		}
+	}
+	return citationEntity{
+		title:   strings.Join(words, " "),
+		authors: authors,
+		venue:   venues[rng.Intn(len(venues))],
+		year:    1990 + rng.Intn(24),
+	}
+}
+
+// dblpRow renders the citation the way the curated side (DBLP) would:
+// full author names, abbreviated venue, year always present.
+func (e citationEntity) dblpRow() record.Tuple {
+	names := make([]string, len(e.authors))
+	for i, a := range e.authors {
+		names[i] = a.first + " " + a.last
+	}
+	return record.Tuple{e.title, strings.Join(names, ", "), e.venue, fmt.Sprintf("%d", e.year)}
+}
+
+// scholarRow renders the citation the way the scraped side (Google
+// Scholar) would: initials for first names, truncated or typo'd titles,
+// long venue names, frequently missing years — the noise that makes
+// Citations a medium-difficulty dataset (92.1% F1 in Table 2).
+func scholarRow(pt *perturber, e citationEntity) record.Tuple {
+	title := e.title
+	if pt.maybe(0.5) {
+		title = pt.typos(title, 1+pt.rng.Intn(2))
+	}
+	if pt.maybe(0.3) {
+		title = pt.truncate(title, 3)
+	}
+	if pt.maybe(0.1) {
+		title = pt.swapTokens(title)
+	}
+
+	names := make([]string, len(e.authors))
+	for i, a := range e.authors {
+		if pt.maybe(0.7) {
+			names[i] = a.first[:1] + ". " + a.last
+		} else {
+			names[i] = a.first + " " + a.last
+		}
+	}
+	if len(names) > 2 && pt.maybe(0.2) {
+		names = append(names[:len(names)-1], "et al")
+	}
+	authorsStr := strings.Join(names, ", ")
+	if pt.maybe(0.1) {
+		authorsStr = pt.typo(authorsStr)
+	}
+
+	venue := e.venue
+	if long, ok := venueLong[venue]; ok && pt.maybe(0.5) {
+		venue = long
+	}
+	if pt.maybe(0.15) {
+		venue = "proc. of " + venue
+	}
+
+	year := fmt.Sprintf("%d", e.year)
+	if pt.maybe(0.3) {
+		year = ""
+	} else if pt.maybe(0.03) {
+		year = fmt.Sprintf("%d", e.year+1) // off-by-one scrape error
+	}
+	return record.Tuple{title, authorsStr, venue, year}
+}
+
+// Citations generates the DBLP-Scholar-style dataset: a small curated table
+// A and a much larger scraped table B where matched publications appear in
+// B one or more times (the paper has 5347 matches against 2616 A rows, so
+// roughly two Scholar copies per matched DBLP record). Non-matching B rows
+// include "hard" near-duplicates: different papers sharing title words,
+// venues, and authors.
+func Citations(p Profile) *record.Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	pt := newPerturber(rng, p.Noise)
+	schema := citationSchema()
+	a := record.NewTable("citations_dblp", schema)
+	b := record.NewTable("citations_scholar", schema)
+
+	// Roughly 80% of A rows have Scholar copies; copies per matched row
+	// follow the ratio Matches / (0.8 * SizeA).
+	matchedA := int(0.8 * float64(p.SizeA))
+	if matchedA < 1 {
+		matchedA = 1
+	}
+	if matchedA > p.Matches {
+		matchedA = p.Matches
+	}
+
+	var matches []record.Pair
+	remaining := p.Matches
+	for i := 0; i < p.SizeA; i++ {
+		e := genCitation(rng)
+		a.Append(e.dblpRow())
+		if i >= matchedA || remaining == 0 {
+			continue
+		}
+		// Distribute remaining matches over remaining matched rows.
+		rowsLeft := matchedA - i
+		copies := remaining / rowsLeft
+		if remaining%rowsLeft != 0 && rng.Intn(rowsLeft) == 0 {
+			copies++
+		}
+		if copies < 1 {
+			copies = 1
+		}
+		if copies > remaining {
+			copies = remaining
+		}
+		for c := 0; c < copies && b.Len() < p.SizeB; c++ {
+			b.Append(scholarRow(pt, e))
+			matches = append(matches, record.P(i, b.Len()-1))
+			remaining--
+		}
+	}
+
+	// Fill B with non-matching citations; a fraction are hard negatives
+	// sharing an A row's venue and some title vocabulary.
+	for b.Len() < p.SizeB {
+		e := genCitation(rng)
+		if pt.maybe(0.3) && a.Len() > 0 {
+			// Hard negative: a different paper from the same venue with
+			// overlapping title words.
+			src := genCitation(rng)
+			ref := rng.Intn(a.Len())
+			refTitle := strings.Fields(a.Rows[ref][0])
+			toks := strings.Fields(src.title)
+			for i := range toks {
+				if rng.Intn(2) == 0 && i < len(refTitle) {
+					toks[i] = refTitle[i]
+				}
+			}
+			src.title = strings.Join(toks, " ")
+			src.venue = a.Rows[ref][2]
+			e = src
+		}
+		b.Append(scholarRow(pt, e))
+	}
+
+	matches = shuffleBoth(rng, a, b, matches)
+	return assemble("Citations", a, b, matches,
+		"These records are bibliographic citations from DBLP and Google "+
+			"Scholar. They match if they refer to the same publication.", rng)
+}

@@ -1,0 +1,290 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+func TestScaled(t *testing.T) {
+	p := Scaled(CitationsPaper, 0.1)
+	if p.SizeA != 261 || p.SizeB != 6426 || p.Matches != 534 {
+		t.Errorf("scaled profile = %+v", p)
+	}
+	// Scale >= 1 is identity.
+	if got := Scaled(CitationsPaper, 1.5); got != CitationsPaper {
+		t.Errorf("upscale changed profile: %+v", got)
+	}
+	// Tiny scales floor at 8.
+	if got := Scaled(RestaurantsPaper, 0.001); got.SizeA < 8 {
+		t.Errorf("floor violated: %+v", got)
+	}
+}
+
+func checkDataset(t *testing.T, ds *record.Dataset, p Profile) {
+	t.Helper()
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("%s: %v", ds.Name, err)
+	}
+	if ds.A.Len() != p.SizeA || ds.B.Len() != p.SizeB {
+		t.Errorf("%s: sizes %d/%d, want %d/%d", ds.Name, ds.A.Len(), ds.B.Len(), p.SizeA, p.SizeB)
+	}
+	got := ds.Truth.NumMatches()
+	if got < p.Matches*8/10 || got > p.Matches {
+		t.Errorf("%s: matches = %d, want ~%d", ds.Name, got, p.Matches)
+	}
+	if ds.Instruction == "" {
+		t.Errorf("%s: missing instruction", ds.Name)
+	}
+	pos, neg := 0, 0
+	for _, s := range ds.Seeds {
+		if s.Match {
+			if !ds.Truth.Match(s.Pair) {
+				t.Errorf("%s: positive seed %v is not a true match", ds.Name, s.Pair)
+			}
+			pos++
+		} else {
+			if ds.Truth.Match(s.Pair) {
+				t.Errorf("%s: negative seed %v is a true match", ds.Name, s.Pair)
+			}
+			neg++
+		}
+	}
+	if pos < 2 || neg < 2 {
+		t.Errorf("%s: seeds %d+/%d-", ds.Name, pos, neg)
+	}
+}
+
+func TestRestaurantsGeneration(t *testing.T) {
+	p := Scaled(RestaurantsPaper, 0.5)
+	ds := Restaurants(p)
+	checkDataset(t, ds, p)
+	// One-to-one matching: no A or B row matched twice.
+	seenA := map[int32]bool{}
+	seenB := map[int32]bool{}
+	for _, m := range ds.Truth.Matches() {
+		if seenA[m.A] || seenB[m.B] {
+			t.Fatal("Restaurants matching is not one-to-one")
+		}
+		seenA[m.A] = true
+		seenB[m.B] = true
+	}
+}
+
+func TestCitationsGeneration(t *testing.T) {
+	p := Scaled(CitationsPaper, 0.05)
+	ds := Citations(p)
+	checkDataset(t, ds, p)
+	// Citations is one-to-many: some A row should have multiple B copies.
+	perA := map[int32]int{}
+	for _, m := range ds.Truth.Matches() {
+		perA[m.A]++
+	}
+	multi := false
+	for _, n := range perA {
+		if n > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Error("expected at least one DBLP record with multiple Scholar copies")
+	}
+}
+
+func TestProductsGeneration(t *testing.T) {
+	p := Scaled(ProductsPaper, 0.08)
+	ds := Products(p)
+	checkDataset(t, ds, p)
+	// Matched pairs share the brand (the generator preserves it).
+	bi := ds.A.Schema.Index("brand")
+	for _, m := range ds.Truth.Matches() {
+		if ds.A.Rows[m.A][bi] != ds.B.Rows[m.B][bi] {
+			t.Fatalf("matched pair %v has different brands", m)
+		}
+	}
+}
+
+func TestGenerateDispatch(t *testing.T) {
+	for _, name := range []string{"Restaurants", "Citations", "Products"} {
+		p := Profile{Name: name, SizeA: 40, SizeB: 60, Matches: 12, Seed: 5}
+		ds := Generate(p)
+		if ds.Name != name {
+			t.Errorf("Generate(%s) produced %s", name, ds.Name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown profile should panic")
+		}
+	}()
+	Generate(Profile{Name: "nope"})
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	p := Scaled(ProductsPaper, 0.03)
+	a := Generate(p)
+	b := Generate(p)
+	if a.A.Len() != b.A.Len() || a.Truth.NumMatches() != b.Truth.NumMatches() {
+		t.Fatal("same profile, different shapes")
+	}
+	for i := range a.A.Rows {
+		for j := range a.A.Rows[i] {
+			if a.A.Rows[i][j] != b.A.Rows[i][j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	am, bm := a.Truth.Matches(), b.Truth.Matches()
+	for i := range am {
+		if am[i] != bm[i] {
+			t.Fatal("same seed produced different ground truth")
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	p := Scaled(ProductsPaper, 0.03)
+	q := p
+	q.Seed = p.Seed + 1
+	a, b := Generate(p), Generate(q)
+	same := true
+	for i := range a.A.Rows {
+		if a.A.Rows[i][1] != b.A.Rows[i][1] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tables")
+	}
+}
+
+func TestPerturberTypo(t *testing.T) {
+	pt := &perturber{rng: rand.New(rand.NewSource(1))}
+	if got := pt.typo("abc"); got != "abc" {
+		t.Error("short strings must not be perturbed")
+	}
+	changed := 0
+	for i := 0; i < 50; i++ {
+		if pt.typo("kingston memory") != "kingston memory" {
+			changed++
+		}
+	}
+	if changed < 40 {
+		t.Errorf("typo changed only %d/50", changed)
+	}
+}
+
+func TestPerturberDropSwapTruncate(t *testing.T) {
+	pt := &perturber{rng: rand.New(rand.NewSource(2))}
+	if got := pt.dropToken("a b"); got != "a b" {
+		t.Error("two-token strings must not drop")
+	}
+	got := pt.dropToken("a b c d")
+	if len(strings.Fields(got)) != 3 {
+		t.Errorf("dropToken = %q", got)
+	}
+	got = pt.swapTokens("a b")
+	if got != "b a" {
+		t.Errorf("swapTokens = %q", got)
+	}
+	got = pt.truncate("a b c d e f", 2)
+	if n := len(strings.Fields(got)); n < 2 || n > 6 {
+		t.Errorf("truncate = %q", got)
+	}
+	if got := pt.truncate("a b", 3); got != "a b" {
+		t.Error("short strings must not truncate")
+	}
+}
+
+func TestPerturberJitter(t *testing.T) {
+	pt := &perturber{rng: rand.New(rand.NewSource(3))}
+	for i := 0; i < 100; i++ {
+		v := pt.jitter(100, 0.05)
+		if v < 95 || v > 105 {
+			t.Fatalf("jitter out of range: %v", v)
+		}
+	}
+}
+
+func TestShuffleBothRemapsTruth(t *testing.T) {
+	schema := record.Schema{{Name: "v", Type: record.AttrString}}
+	a := record.NewTable("a", schema)
+	b := record.NewTable("b", schema)
+	for i := 0; i < 20; i++ {
+		a.Append(record.Tuple{string(rune('a' + i))})
+		b.Append(record.Tuple{string(rune('A' + i))})
+	}
+	matches := []record.Pair{record.P(0, 0), record.P(5, 5), record.P(10, 10)}
+	rng := rand.New(rand.NewSource(4))
+	out := shuffleBoth(rng, a, b, matches)
+	// The remapped pairs must point at the same content.
+	for i, m := range out {
+		origA := string(rune('a' + int(matches[i].A)))
+		origB := string(rune('A' + int(matches[i].B)))
+		if a.Rows[m.A][0] != origA || b.Rows[m.B][0] != origB {
+			t.Fatalf("pair %d remap broken", i)
+		}
+	}
+}
+
+func TestPositiveDensityShape(t *testing.T) {
+	// The generated datasets must preserve the paper's extreme skew.
+	for _, tc := range []struct {
+		p   Profile
+		max float64
+	}{
+		{Scaled(CitationsPaper, 0.05), 0.01},
+		{Scaled(ProductsPaper, 0.08), 0.01},
+	} {
+		ds := Generate(tc.p)
+		if d := ds.PositiveDensity(); d > tc.max {
+			t.Errorf("%s density %.5f, want <= %v", ds.Name, d, tc.max)
+		}
+	}
+}
+
+// TestNoiseDialAffectsSimilarity: higher noise should lower the textual
+// similarity between matched pairs.
+func TestNoiseDialAffectsSimilarity(t *testing.T) {
+	avgSim := func(noise float64) float64 {
+		p := Scaled(RestaurantsPaper, 0.3)
+		p.Noise = noise
+		ds := Generate(p)
+		ni := ds.A.Schema.Index("name")
+		sum, n := 0.0, 0
+		for _, m := range ds.Truth.Matches() {
+			a, b := ds.A.Rows[m.A][ni], ds.B.Rows[m.B][ni]
+			// crude similarity: fraction of equal prefix length
+			eq := 0
+			for eq < len(a) && eq < len(b) && a[eq] == b[eq] {
+				eq++
+			}
+			max := len(a)
+			if len(b) > max {
+				max = len(b)
+			}
+			if max > 0 {
+				sum += float64(eq) / float64(max)
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	clean, dirty := avgSim(0.2), avgSim(2.5)
+	if clean <= dirty {
+		t.Errorf("clean similarity %.3f should exceed dirty %.3f", clean, dirty)
+	}
+}
+
+// TestNoiseDialDeterminism: the dial changes content but not shape.
+func TestNoiseDialDeterminism(t *testing.T) {
+	p := Scaled(CitationsPaper, 0.03)
+	p.Noise = 1.7
+	a, b := Generate(p), Generate(p)
+	if a.Truth.NumMatches() != b.Truth.NumMatches() {
+		t.Error("same noisy profile, different truth")
+	}
+}

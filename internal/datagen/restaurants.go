@@ -1,0 +1,134 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// restaurantEntity is one real-world restaurant.
+type restaurantEntity struct {
+	name, addr, city, phone, cuisine string
+}
+
+func restaurantSchema() record.Schema {
+	return record.Schema{
+		{Name: "name", Type: record.AttrString},
+		{Name: "addr", Type: record.AttrString},
+		{Name: "city", Type: record.AttrString},
+		{Name: "phone", Type: record.AttrCategorical},
+		{Name: "cuisine", Type: record.AttrString},
+	}
+}
+
+func genRestaurant(rng *rand.Rand) restaurantEntity {
+	var name string
+	switch rng.Intn(3) {
+	case 0:
+		name = fmt.Sprintf("%s's %s %s", lastNames[rng.Intn(len(lastNames))],
+			cuisines[rng.Intn(len(cuisines))], restaurantSuffixes[rng.Intn(len(restaurantSuffixes))])
+	case 1:
+		name = fmt.Sprintf("the %s %s", streetNames[rng.Intn(len(streetNames))],
+			restaurantSuffixes[rng.Intn(len(restaurantSuffixes))])
+	default:
+		name = fmt.Sprintf("%s %s %s", firstNames[rng.Intn(len(firstNames))],
+			lastNames[rng.Intn(len(lastNames))], restaurantSuffixes[rng.Intn(len(restaurantSuffixes))])
+	}
+	return restaurantEntity{
+		name: name,
+		addr: fmt.Sprintf("%d %s %s", 1+rng.Intn(9999),
+			streetNames[rng.Intn(len(streetNames))], streetTypes[rng.Intn(len(streetTypes))]),
+		city: cities[rng.Intn(len(cities))],
+		phone: fmt.Sprintf("%d%02d-%03d-%04d", 2+rng.Intn(8), rng.Intn(100),
+			rng.Intn(1000), rng.Intn(10000)),
+		cuisine: cuisines[rng.Intn(len(cuisines))],
+	}
+}
+
+func (e restaurantEntity) row() record.Tuple {
+	return record.Tuple{e.name, e.addr, e.city, e.phone, e.cuisine}
+}
+
+// noisyRestaurant renders the entity as a second listing service would:
+// occasional typos, street-type long forms, city abbreviations, phone
+// reformatting, and missing cuisine. The perturbations are mild — the paper
+// reports Restaurants as the easiest dataset (96.5% F1 with no blocking).
+func noisyRestaurant(pt *perturber, e restaurantEntity) record.Tuple {
+	name := e.name
+	if pt.maybe(0.3) {
+		name = pt.typo(name)
+	}
+	if pt.maybe(0.1) {
+		name = pt.dropToken(name)
+	}
+	addr := e.addr
+	if pt.maybe(0.5) {
+		for abbr, long := range streetTypeLong {
+			if strings.HasSuffix(addr, " "+abbr) {
+				addr = strings.TrimSuffix(addr, abbr) + long
+				break
+			}
+		}
+	}
+	if pt.maybe(0.15) {
+		addr = pt.typo(addr)
+	}
+	city := e.city
+	if ab, ok := cityAbbrev[city]; ok && pt.maybe(0.4) {
+		city = ab
+	}
+	phone := e.phone
+	if pt.maybe(0.4) {
+		phone = "(" + phone[:3] + ") " + phone[4:]
+	}
+	if pt.maybe(0.05) {
+		phone = "" // missing
+	}
+	cuisine := e.cuisine
+	if pt.maybe(0.25) {
+		cuisine = ""
+	}
+	return record.Tuple{name, addr, city, phone, cuisine}
+}
+
+// Restaurants generates the Fodors-Zagat-style dataset: two modest lists of
+// restaurant listings where each match is the same restaurant described by
+// two services. Matches are one-to-one, noise is mild, and the Cartesian
+// product is small enough that blocking never triggers — exactly the Table
+// 1 / Table 3 behaviour.
+func Restaurants(p Profile) *record.Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	pt := newPerturber(rng, p.Noise)
+	schema := restaurantSchema()
+	a := record.NewTable("restaurants_a", schema)
+	b := record.NewTable("restaurants_b", schema)
+
+	if p.Matches > p.SizeA {
+		p.Matches = p.SizeA
+	}
+	if p.Matches > p.SizeB {
+		p.Matches = p.SizeB
+	}
+
+	// Shared entities appear in both tables; the rest are distinct.
+	var matches []record.Pair
+	for i := 0; i < p.Matches; i++ {
+		e := genRestaurant(rng)
+		a.Append(e.row())
+		b.Append(noisyRestaurant(pt, e))
+		matches = append(matches, record.P(a.Len()-1, b.Len()-1))
+	}
+	for a.Len() < p.SizeA {
+		a.Append(genRestaurant(rng).row())
+	}
+	for b.Len() < p.SizeB {
+		b.Append(genRestaurant(rng).row())
+	}
+
+	matches = shuffleBoth(rng, a, b, matches)
+	return assemble("Restaurants", a, b, matches,
+		"These records describe restaurants from two listing services. "+
+			"They match if they refer to the same restaurant location.", rng)
+}

@@ -1,0 +1,214 @@
+package datagen
+
+// Word pools for the synthetic generators. The pools are large enough that
+// seeded sampling produces realistic-looking, largely distinct entities at
+// the paper's dataset sizes.
+
+var firstNames = []string{
+	"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+	"linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "christopher",
+	"nancy", "daniel", "lisa", "matthew", "margaret", "anthony", "betty",
+	"mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+	"emily", "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy",
+	"kevin", "carol", "brian", "amanda", "george", "melissa", "edward",
+	"deborah", "ronald", "stephanie", "timothy", "rebecca", "jason", "sharon",
+	"jeffrey", "laura", "ryan", "cynthia", "jacob", "kathleen", "gary",
+	"amy", "nicholas", "shirley", "eric", "angela", "jonathan", "helen",
+	"stephen", "anna", "larry", "brenda", "justin", "pamela", "scott",
+	"nicole", "brandon", "emma", "benjamin", "samantha", "samuel", "katherine",
+	"gregory", "christine", "frank", "debra", "alexander", "rachel",
+	"raymond", "catherine", "patrick", "carolyn", "jack", "janet", "dennis",
+	"ruth", "jerry", "maria", "tyler", "heather", "aaron", "diane", "jose",
+	"virginia", "adam", "julie", "nathan", "joyce", "henry", "victoria",
+	"douglas", "olivia", "zachary", "kelly", "peter", "christina", "kyle",
+	"lauren", "walter", "joan", "ethan", "evelyn", "jeremy", "judith",
+	"harold", "megan", "keith", "cheryl", "christian", "andrea", "roger",
+	"hannah", "noah", "martha", "gerald", "jacqueline", "carl", "frances",
+	"terry", "gloria", "sean", "ann", "austin", "teresa", "arthur", "kathryn",
+	"lawrence", "sara", "jesse", "janice", "dylan", "jean", "bryan", "alice",
+	"joe", "madison", "jordan", "doris", "billy", "abigail", "bruce", "julia",
+	"albert", "judy", "willie", "grace", "gabriel", "denise", "logan",
+	"amber", "alan", "marilyn", "juan", "beverly", "wayne", "danielle",
+	"roy", "theresa", "ralph", "sophia", "randy", "marie", "eugene", "diana",
+	"vincent", "brittany", "russell", "natalie", "elijah", "isabella",
+	"louis", "charlotte", "bobby", "rose", "philip", "alexis", "johnny",
+	"kayla", "xin", "wei", "li", "ming", "anil", "priya", "ravi", "sanjay",
+	"yuki", "hiro", "kenji", "akira", "lars", "sven", "ingrid", "pierre",
+	"claude", "marcel", "giulia", "marco", "paolo", "ahmed", "fatima",
+	"omar", "layla", "chen", "yan", "jin", "hao",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+	"adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+	"carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+	"parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+	"morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+	"cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+	"kim", "cox", "ward", "richardson", "watson", "brooks", "chavez",
+	"wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes",
+	"price", "alvarez", "castillo", "sanders", "patel", "myers", "long",
+	"ross", "foster", "jimenez", "powell", "jenkins", "perry", "russell",
+	"sullivan", "bell", "coleman", "butler", "henderson", "barnes",
+	"fisher", "vasquez", "simmons", "romero", "jordan", "patterson",
+	"alexander", "hamilton", "graham", "reynolds", "griffin", "wallace",
+	"moreno", "west", "cole", "hayes", "bryant", "herrera", "gibson",
+	"ellis", "tran", "medina", "aguilar", "stevens", "murray", "ford",
+	"castro", "marshall", "owens", "harrison", "fernandez", "mcdonald",
+	"woods", "washington", "kennedy", "wells", "vargas", "henry", "chen",
+	"freeman", "webb", "tucker", "guzman", "burns", "crawford", "olson",
+	"simpson", "porter", "hunter", "gordon", "mendez", "silva", "shaw",
+	"snyder", "mason", "dixon", "munoz", "hunt", "hicks", "holmes",
+	"palmer", "wagner", "black", "robertson", "boyd", "rose", "stone",
+	"salazar", "fox", "warren", "mills", "meyer", "rice", "schmidt",
+	"zhang", "wang", "liu", "yang", "huang", "zhao", "wu", "zhou", "xu",
+	"sun", "das", "gupta", "sharma", "singh", "kumar", "rao", "reddy",
+	"iyer", "banerjee", "mukherjee", "tanaka", "suzuki", "sato", "watanabe",
+	"ito", "yamamoto", "nakamura", "kobayashi", "mueller", "schneider",
+	"fischer", "weber", "becker", "hoffmann", "rossi", "russo", "ferrari",
+	"esposito", "bianchi", "dubois", "moreau", "laurent", "lefebvre",
+}
+
+var cuisines = []string{
+	"italian", "french", "chinese", "japanese", "thai", "mexican", "indian",
+	"greek", "spanish", "korean", "vietnamese", "american", "cajun",
+	"seafood", "steakhouse", "mediterranean", "lebanese", "ethiopian",
+	"turkish", "brazilian", "peruvian", "german", "moroccan", "cuban",
+	"southern", "bbq", "vegetarian", "fusion", "continental", "californian",
+}
+
+var restaurantSuffixes = []string{
+	"grill", "bistro", "kitchen", "cafe", "house", "garden", "place",
+	"tavern", "diner", "room", "corner", "table", "bar", "brasserie",
+	"trattoria", "cantina", "palace", "express", "deli", "eatery",
+}
+
+var streetNames = []string{
+	"main", "oak", "maple", "cedar", "pine", "elm", "washington", "lake",
+	"hill", "park", "river", "spring", "ridge", "church", "market",
+	"union", "highland", "forest", "sunset", "madison", "jefferson",
+	"franklin", "lincoln", "jackson", "broadway", "college", "center",
+	"mill", "walnut", "chestnut", "willow", "valley", "meadow", "prospect",
+	"grove", "pleasant", "arlington", "clinton", "monroe", "bridge",
+}
+
+var streetTypes = []string{"st", "ave", "blvd", "rd", "dr", "ln", "way", "pl"}
+
+// streetTypeLong maps street-type abbreviations to their long forms; the
+// perturber flips between them to simulate format differences.
+var streetTypeLong = map[string]string{
+	"st": "street", "ave": "avenue", "blvd": "boulevard", "rd": "road",
+	"dr": "drive", "ln": "lane", "way": "way", "pl": "place",
+}
+
+var cities = []string{
+	"new york", "los angeles", "chicago", "houston", "phoenix",
+	"philadelphia", "san antonio", "san diego", "dallas", "san jose",
+	"austin", "jacksonville", "san francisco", "columbus", "fort worth",
+	"indianapolis", "charlotte", "seattle", "denver", "washington",
+	"boston", "el paso", "nashville", "detroit", "oklahoma city",
+	"portland", "las vegas", "memphis", "louisville", "baltimore",
+	"milwaukee", "albuquerque", "tucson", "fresno", "sacramento",
+	"kansas city", "atlanta", "miami", "oakland", "minneapolis",
+	"cleveland", "new orleans", "tampa", "pittsburgh", "cincinnati",
+	"madison", "st louis", "orlando", "raleigh", "buffalo",
+}
+
+// cityAbbrev maps city names to common short forms.
+var cityAbbrev = map[string]string{
+	"new york": "nyc", "los angeles": "la", "san francisco": "sf",
+	"washington": "dc", "new orleans": "nola", "philadelphia": "philly",
+}
+
+var titleWords = []string{
+	"efficient", "scalable", "distributed", "parallel", "adaptive",
+	"incremental", "approximate", "optimal", "robust", "dynamic",
+	"learning", "mining", "matching", "indexing", "clustering", "ranking",
+	"sampling", "streaming", "caching", "partitioning", "estimation",
+	"optimization", "evaluation", "integration", "extraction", "resolution",
+	"deduplication", "classification", "aggregation", "compression",
+	"query", "queries", "data", "database", "databases", "graph", "graphs",
+	"entity", "entities", "schema", "schemas", "record", "records",
+	"crowdsourcing", "crowdsourced", "probabilistic", "declarative",
+	"relational", "transactional", "temporal", "spatial", "semantic",
+	"keyword", "search", "join", "joins", "similarity", "skyline",
+	"processing", "systems", "framework", "frameworks", "approach",
+	"approaches", "algorithm", "algorithms", "model", "models", "analysis",
+	"management", "discovery", "detection", "selection", "inference",
+	"networks", "web", "cloud", "memory", "storage", "workload",
+	"workloads", "benchmark", "benchmarking", "privacy", "secure",
+	"federated", "hybrid", "online", "offline", "interactive", "scalability",
+	"uncertain", "heterogeneous", "knowledge", "bases", "warehouse",
+	"provenance", "lineage", "views", "materialized", "concurrency",
+	"recovery", "transactions", "locking", "consistency", "replication",
+}
+
+var venues = []string{
+	"sigmod", "vldb", "icde", "edbt", "cidr", "pods", "kdd", "icdm",
+	"sdm", "wsdm", "www", "sigir", "cikm", "nips", "icml", "aaai",
+	"ijcai", "acl", "emnlp", "sosp", "osdi", "nsdi", "atc", "eurosys",
+	"socc", "hpdc", "ipdps", "sc", "isca", "micro",
+}
+
+// venueLong maps venue abbreviations to full names.
+var venueLong = map[string]string{
+	"sigmod": "acm sigmod international conference on management of data",
+	"vldb":   "international conference on very large data bases",
+	"icde":   "ieee international conference on data engineering",
+	"kdd":    "acm sigkdd conference on knowledge discovery and data mining",
+	"www":    "international world wide web conference",
+	"icml":   "international conference on machine learning",
+	"nips":   "neural information processing systems",
+	"sosp":   "acm symposium on operating systems principles",
+	"osdi":   "usenix symposium on operating systems design and implementation",
+	"sigir":  "acm sigir conference on research and development in information retrieval",
+}
+
+var brands = []string{
+	"kingston", "samsung", "sony", "toshiba", "seagate", "sandisk",
+	"logitech", "netgear", "linksys", "asus", "acer", "dell", "lenovo",
+	"canon", "nikon", "panasonic", "philips", "jvc", "garmin", "tomtom",
+	"corsair", "crucial", "intel", "amd", "nvidia", "belkin", "dlink",
+	"apple", "microsoft", "hp", "epson", "brother", "lexmark", "viewsonic",
+	"benq", "lg", "sharp", "vizio", "pioneer", "kenwood", "yamaha",
+	"denon", "onkyo", "bose", "jbl", "klipsch", "polk", "sennheiser",
+	"plantronics", "jabra",
+}
+
+var productTypes = []string{
+	"memory kit", "ssd", "hard drive", "usb flash drive", "sd card",
+	"router", "keyboard", "mouse", "webcam", "headset", "monitor",
+	"printer", "scanner", "speaker", "soundbar", "receiver", "camcorder",
+	"camera", "gps navigator", "external drive", "graphics card",
+	"power supply", "laptop battery", "docking station", "network switch",
+	"projector", "headphones", "earbuds", "microphone", "tablet case",
+}
+
+var productLines = []string{
+	"hyperx", "elite", "pro", "ultra", "max", "evo", "fury", "vengeance",
+	"ballistix", "extreme", "plus", "prime", "classic", "signature",
+	"performance", "essential", "advanced", "turbo", "power", "swift",
+	"precision", "vision", "clarity", "impact", "fusion", "spark",
+	"momentum", "pulse", "apex", "titan",
+}
+
+var productCategories = []string{
+	"computer memory", "storage", "networking", "peripherals", "audio",
+	"video", "photography", "accessories",
+}
+
+var descWords = []string{
+	"high", "performance", "reliable", "fast", "compact", "portable",
+	"durable", "premium", "certified", "tested", "warranty", "energy",
+	"efficient", "low", "latency", "profile", "heat", "spreader",
+	"compatible", "desktop", "laptop", "gaming", "professional", "series",
+	"design", "quality", "speed", "capacity", "technology", "advanced",
+	"wireless", "connectivity", "plug", "play", "easy", "setup",
+	"lifetime", "support", "backed", "engineered", "optimized",
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/corleone-em/corleone/internal/active"
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/engine"
+)
+
+// ALStrategyRow is one selection-strategy run.
+type ALStrategyRow struct {
+	Strategy string
+	F1       float64
+	Labels   int
+	Cost     float64
+}
+
+// ALStrategyAblation isolates the value of entropy-driven example
+// selection (§5.2): run the full pipeline with the paper's strategy and
+// with uniform-random selection, same dataset, same crowd, same budget of
+// iterations. The entropy strategy should reach equal or better F1 from
+// the same number of labeling rounds — on skewed data, dramatically
+// better, because random batches contain almost no positives.
+func ALStrategyAblation(name string, scale float64, seed int64) ([]ALStrategyRow, string) {
+	var rows []ALStrategyRow
+	for _, strat := range []active.Strategy{active.StrategyEntropy, active.StrategyRandom} {
+		s := NewSetup(name, scale, DefaultErrorRate, seed)
+		ds := s.Dataset()
+		cfg := s.EngineConfig()
+		cfg.Matcher.Active.Strategy = strat
+		cfg.Blocker.Active.Strategy = strat
+		res, err := engine.Run(ds, s.Crowd(ds), cfg)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, ALStrategyRow{
+			Strategy: strat.String(),
+			F1:       res.True.F1,
+			Labels:   res.Accounting.Pairs,
+			Cost:     res.Accounting.Cost,
+		})
+	}
+	t := &textTable{header: []string{"Selection", "F1", "# Pairs", "Cost"}}
+	for _, r := range rows {
+		t.add(r.Strategy, f1s(r.F1), ints(r.Labels), usd(r.Cost))
+	}
+	return rows, fmt.Sprintf("Active-learning selection ablation on %s (§5.2).\n", name) + t.String()
+}
+
+// StoppingRow is one stopping-rule configuration's outcome.
+type StoppingRow struct {
+	Variant string
+	F1      float64
+	Labels  int
+	ALIters int
+}
+
+// StoppingAblation isolates the §5.3 stopping machinery: the paper's three
+// patterns with peak rollback, versus a fixed iteration count (no
+// convergence detection), versus stopping at the very first flat stretch.
+// Excessive training wastes money and can reduce accuracy (§5.3); the
+// patterns exist to find the knee.
+func StoppingAblation(name string, scale float64, seed int64) ([]StoppingRow, string) {
+	variants := []struct {
+		label  string
+		mutate func(*active.Config)
+	}{
+		{"paper (3 patterns)", func(c *active.Config) {}},
+		{"fixed 40 iterations", func(c *active.Config) {
+			c.NConverged = 1 << 20
+			c.NHigh = 1 << 20
+			c.NDegrade = 1 << 20
+			c.MaxIterations = 40
+		}},
+		{"impatient (converged n=5)", func(c *active.Config) {
+			c.NConverged = 5
+		}},
+	}
+	var rows []StoppingRow
+	for _, v := range variants {
+		s := NewSetup(name, scale, DefaultErrorRate, seed)
+		ds := s.Dataset()
+		cfg := s.EngineConfig()
+		cfg.SkipEstimator = true // isolate the matcher
+		v.mutate(&cfg.Matcher.Active)
+		res, err := engine.Run(ds, s.Crowd(ds), cfg)
+		if err != nil {
+			panic(err)
+		}
+		iters := 0
+		if len(res.ConfidenceTraces) > 0 {
+			iters = res.ConfidenceTraces[0].Iterations
+		}
+		rows = append(rows, StoppingRow{
+			Variant: v.label,
+			F1:      res.True.F1,
+			Labels:  res.Accounting.Pairs,
+			ALIters: iters,
+		})
+	}
+	t := &textTable{header: []string{"Stopping rule", "F1", "# Pairs", "AL iterations"}}
+	for _, r := range rows {
+		t.add(r.Variant, f1s(r.F1), ints(r.Labels), ints(r.ALIters))
+	}
+	return rows, fmt.Sprintf("Stopping-rule ablation on %s (§5.3).\n", name) + t.String()
+}
+
+// BudgetAllocationRow is one budget split's outcome.
+type BudgetAllocationRow struct {
+	Split   string
+	F1      float64
+	EstGap  float64
+	Spent   float64
+	Matches int
+}
+
+// BudgetAllocationStudy explores §10's budget-allocation question: with a
+// fixed total budget, compare the default 25/45/30 split against
+// matching-heavy and estimation-heavy splits.
+func BudgetAllocationStudy(name string, scale, budget float64, seed int64) ([]BudgetAllocationRow, string) {
+	splits := []struct {
+		label   string
+		budgets engine.PhaseBudgets
+	}{
+		{"25/45/30 (default)", engine.AllocateBudget(budget)},
+		{"10/80/10", engine.PhaseBudgets{Blocking: 0.1 * budget, Matching: 0.8 * budget, Estimation: 0.1 * budget}},
+		{"10/40/50", engine.PhaseBudgets{Blocking: 0.1 * budget, Matching: 0.4 * budget, Estimation: 0.5 * budget}},
+	}
+	var rows []BudgetAllocationRow
+	for _, sp := range splits {
+		s := NewSetup(name, scale, DefaultErrorRate, seed)
+		ds := s.Dataset()
+		cfg := s.EngineConfig()
+		cfg.PhaseBudgets = sp.budgets
+		res, err := engine.Run(ds, s.Crowd(ds), cfg)
+		if err != nil {
+			panic(err)
+		}
+		gap := 0.0
+		if res.HasTrue {
+			gap = res.EstimatedF1 - res.True.F1
+			if gap < 0 {
+				gap = -gap
+			}
+		}
+		rows = append(rows, BudgetAllocationRow{
+			Split:   sp.label,
+			F1:      res.True.F1,
+			EstGap:  gap,
+			Spent:   res.Accounting.Cost,
+			Matches: len(res.Matches),
+		})
+	}
+	t := &textTable{header: []string{"Split (block/match/est)", "F1", "|estF1-F1|", "Spent", "Matches"}}
+	for _, r := range rows {
+		t.add(r.Split, f1s(r.F1), f1s(r.EstGap), usd(r.Spent), ints(r.Matches))
+	}
+	return rows, fmt.Sprintf("Budget allocation study on %s, total $%.2f (§10).\n", name, budget) + t.String()
+}
+
+// CleaningRow reports the §10 "cleaning learning models" idea: how many of
+// a forest's rules the crowd rejects, and the accuracy effect of removing
+// their leaves' influence is visible through the rule audit instead; here
+// we report the certified-vs-rejected split per step.
+type CleaningRow struct {
+	Dataset   string
+	Evaluated int
+	Certified int
+}
+
+// RuleCleaning summarizes how aggressively crowd certification prunes the
+// forest-extracted rules — the §10 observation that crowdsourcing can
+// "clean" learned models by finding and removing bad rules.
+func RuleCleaning(runs []DatasetRun) ([]CleaningRow, string) {
+	var rows []CleaningRow
+	for _, r := range runs {
+		row := CleaningRow{Dataset: r.Dataset.Name}
+		if r.Result.Blocking.Triggered {
+			for _, ev := range r.Result.Blocking.Evaluated {
+				row.Evaluated++
+				if ev.Kept {
+					row.Certified++
+				}
+			}
+		}
+		for _, lr := range r.Result.LocatorRuns {
+			for _, ev := range lr.Evaluated {
+				row.Evaluated++
+				if ev.Kept {
+					row.Certified++
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	t := &textTable{header: []string{"Datasets", "Rules evaluated", "Certified", "Rejected"}}
+	for _, r := range rows {
+		t.add(r.Dataset, ints(r.Evaluated), ints(r.Certified), ints(r.Evaluated-r.Certified))
+	}
+	return rows, "Crowd cleaning of learned rules (§10).\n" + t.String()
+}
+
+// MoneyTimeRow is one price point of the §10 money-time tradeoff.
+type MoneyTimeRow struct {
+	PriceCents int
+	Hours      float64
+	Dollars    float64
+}
+
+// MoneyTimeTradeoff renders §10's money-time question for a concrete
+// labeling demand (questions × votes) under the default crowd response
+// model: paying more gets answers faster with diminishing returns, and
+// CheapestWithinDeadline picks the knee for a given deadline.
+func MoneyTimeTradeoff(questions, votes int, deadlineHours, budget float64) ([]MoneyTimeRow, string) {
+	m := crowd.DefaultResponseModel()
+	var rows []MoneyTimeRow
+	for _, price := range []int{1, 2, 5, 10, 25} {
+		rows = append(rows, MoneyTimeRow{
+			PriceCents: price,
+			Hours:      m.CompletionHours(questions, votes, float64(price)),
+			Dollars:    m.CostDollars(questions, votes, float64(price)),
+		})
+	}
+	t := &textTable{header: []string{"Price/question", "Completion (h)", "Cost"}}
+	for _, r := range rows {
+		t.add(fmt.Sprintf("%d¢", r.PriceCents), f2s(r.Hours), usd(r.Dollars))
+	}
+	pick, ok := m.CheapestWithinDeadline(questions, votes, budget, deadlineHours)
+	verdict := fmt.Sprintf("\nfor a %.0fh deadline and $%.0f budget: ", deadlineHours, budget)
+	if ok {
+		verdict += fmt.Sprintf("pay %d¢/question", pick)
+	} else {
+		verdict += "no feasible price — relax the deadline or the budget"
+	}
+	return rows, fmt.Sprintf("Money-time tradeoff (§10): %d questions x %d votes.\n",
+		questions, votes) + t.String() + verdict + "\n"
+}
+
+// DifficultyRow is one noise level of the matching-difficulty sweep.
+type DifficultyRow struct {
+	Noise  float64
+	F1     float64
+	Cost   float64
+	Labels int
+}
+
+// DifficultySweep varies the generator's perturbation intensity and runs
+// the full pipeline — how gracefully does hands-off matching degrade as
+// the two tables' renditions of an entity drift apart? (The paper selects
+// datasets "with varying matching difficulties"; this makes difficulty a
+// continuous dial.)
+func DifficultySweep(name string, scale float64, noises []float64, seed int64) ([]DifficultyRow, string) {
+	var rows []DifficultyRow
+	for _, noise := range noises {
+		s := NewSetup(name, scale, DefaultErrorRate, seed)
+		s.Profile.Noise = noise
+		ds := s.Dataset()
+		res, err := engine.Run(ds, s.Crowd(ds), s.EngineConfig())
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, DifficultyRow{
+			Noise:  noise,
+			F1:     res.True.F1,
+			Cost:   res.Accounting.Cost,
+			Labels: res.Accounting.Pairs,
+		})
+	}
+	t := &textTable{header: []string{"Noise", "F1", "Cost", "# Pairs"}}
+	for _, r := range rows {
+		t.add(fmt.Sprintf("%.1fx", r.Noise), f1s(r.F1), usd(r.Cost), ints(r.Labels))
+	}
+	return rows, fmt.Sprintf("Matching-difficulty sweep on %s.\n", name) + t.String()
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/forest"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// Figure2 reproduces the paper's Figure 2: a toy random forest over book
+// tuples and the negative (blocking) rules extracted from it. It trains a
+// 2-tree forest on a small synthetic book-matching problem and renders the
+// trees and every extracted negative rule.
+func Figure2() string {
+	// A compact book-matching training set over binary match features:
+	// isbn_match, pages_match, title_match, publisher_match, year_match.
+	names := []string{"isbn_match", "pages_match", "title_match",
+		"publisher_match", "year_match"}
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []bool
+	bit := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for i := 0; i < 400; i++ {
+		match := rng.Intn(2) == 0
+		noise := func(p float64) bool { return rng.Float64() < p }
+		var isbn, pages, title, publisher, year bool
+		if match {
+			isbn, pages = !noise(0.02), !noise(0.1)
+			title, publisher, year = !noise(0.1), !noise(0.2), !noise(0.15)
+		} else {
+			isbn, pages = noise(0.01), noise(0.3)
+			title, publisher, year = noise(0.15), noise(0.4), noise(0.35)
+		}
+		X = append(X, []float64{bit(isbn), bit(pages), bit(title), bit(publisher), bit(year)})
+		y = append(y, match)
+	}
+	cfg := forest.Defaults()
+	cfg.NumTrees = 2
+	cfg.MaxDepth = 3
+	cfg.Seed = 5
+	f := forest.Train(X, y, cfg)
+
+	name := func(i int) string { return names[i] }
+	var b strings.Builder
+	b.WriteString("Figure 2: a toy random forest and the negative rules extracted from it.\n\n")
+	b.WriteString(f.String(name))
+	neg, _ := f.Rules()
+	b.WriteString("\nNegative rules (candidate blocking rules):\n")
+	for i, r := range neg {
+		fmt.Fprintf(&b, "  R%d: %s\n", i+1, r.Render(name))
+	}
+	return b.String()
+}
+
+// Figure3 reproduces the confidence-pattern plot: the smoothed conf(V)
+// series of each dataset's first matching iteration, rendered as aligned
+// numeric series with the detected stopping pattern.
+func Figure3(runs []DatasetRun) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: matcher confidence per active-learning iteration (smoothed, w=5).\n")
+	for _, r := range runs {
+		for it, tr := range r.Result.ConfidenceTraces {
+			fmt.Fprintf(&b, "\n%s iteration %d (stop: %s, picked classifier from AL-iteration %d):\n",
+				r.Dataset.Name, it+1, tr.Reason, tr.PickedIteration)
+			b.WriteString(sparkline(tr.Smoothed))
+			b.WriteByte('\n')
+			for i, v := range tr.Smoothed {
+				fmt.Fprintf(&b, "  %3d: %.4f\n", i+1, v)
+				if i > 60 {
+					fmt.Fprintf(&b, "  ... (%d more)\n", len(tr.Smoothed)-i-1)
+					break
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// sparkline renders a float series as a one-line block-character plot.
+func sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return "(empty)"
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		i := 0
+		if hi > lo {
+			i = int((x - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[i])
+	}
+	return b.String()
+}
+
+// Figure4 reproduces the sample HIT question: the first candidate pair of
+// the Products dataset rendered as the crowd sees it.
+func Figure4() string {
+	ds := NewSetup("Products", 0.05, 0, 21).Dataset()
+	// Show a true match so the rendering mirrors the paper's example.
+	var p record.Pair
+	if m := ds.Truth.Matches(); len(m) > 0 {
+		p = m[0]
+	}
+	return "Figure 4: a sample question to the crowd.\n\n" + crowd.RenderQuestion(ds, p)
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// textTable renders rows of cells as an aligned plain-text table with a
+// header row, in the style the paper's tables are reproduced in.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *textTable) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *textTable) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func f1s(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2s(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func ints(v int) string     { return fmt.Sprintf("%d", v) }
+func int64s(v int64) string { return fmt.Sprintf("%d", v) }
+func usd(v float64) string  { return fmt.Sprintf("$%.2f", v) }

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/corleone-em/corleone/internal/engine"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// DatasetRun is one dataset's complete experimental run: Corleone plus the
+// two baselines, everything Tables 1–4 need.
+type DatasetRun struct {
+	Setup   Setup
+	Dataset *record.Dataset
+	Result  *engine.Result
+	B1, B2  BaselineResult
+}
+
+// RunAll executes Corleone (and optionally both baselines) on every setup.
+func RunAll(setups []Setup, withBaselines bool) ([]DatasetRun, error) {
+	var out []DatasetRun
+	for _, s := range setups {
+		ds, res, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Profile.Name, err)
+		}
+		run := DatasetRun{Setup: s, Dataset: ds, Result: res}
+		if withBaselines {
+			run.B1 = RunBaseline(ds, res.Accounting.Pairs, s.Seed)
+			run.B2 = RunBaseline(ds, 0, s.Seed)
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// Table1 renders the dataset statistics (paper's Table 1), with the
+// scaled sizes actually generated.
+func Table1(runs []DatasetRun) string {
+	t := &textTable{header: []string{"Datasets", "Table A", "Table B", "# of Matches", "Pos. density"}}
+	for _, r := range runs {
+		t.add(r.Dataset.Name, ints(r.Dataset.A.Len()), ints(r.Dataset.B.Len()),
+			ints(r.Dataset.Truth.NumMatches()),
+			fmt.Sprintf("%.4f%%", 100*r.Dataset.PositiveDensity()))
+	}
+	return "Table 1: Data sets for our experiments.\n" + t.String()
+}
+
+// Table2 renders the headline comparison (paper's Table 2): Corleone vs
+// Baseline 1 vs Baseline 2 on P, R, F1, cost, and pairs labeled.
+func Table2(runs []DatasetRun) string {
+	t := &textTable{header: []string{"Datasets",
+		"P", "R", "F1", "Cost", "# Pairs",
+		"B1 P", "B1 R", "B1 F1",
+		"B2 P", "B2 R", "B2 F1"}}
+	for _, r := range runs {
+		m := r.Result.True
+		t.add(r.Dataset.Name,
+			f1s(m.P), f1s(m.R), f1s(m.F1),
+			usd(r.Result.Accounting.Cost), ints(r.Result.Accounting.Pairs),
+			f1s(r.B1.Metrics.P), f1s(r.B1.Metrics.R), f1s(r.B1.Metrics.F1),
+			f1s(r.B2.Metrics.P), f1s(r.B2.Metrics.R), f1s(r.B2.Metrics.F1))
+	}
+	return "Table 2: Corleone vs traditional solutions (B1: same label count, " +
+		"gold labels; B2: 20% of candidate set, gold labels).\n" + t.String()
+}
+
+// Table3 renders the blocking results (paper's Table 3): Cartesian size,
+// umbrella set, recall, cost, and pairs labeled during blocking.
+func Table3(runs []DatasetRun) string {
+	t := &textTable{header: []string{"Datasets", "Cartesian Product",
+		"Umbrella Set", "Recall (%)", "Cost", "# Pairs", "Rules"}}
+	for _, r := range runs {
+		blk := r.Result.Blocking
+		recall := 100.0
+		if r.Dataset.Truth.NumMatches() > 0 {
+			kept := r.Dataset.Truth.CountMatchesIn(blk.Candidates)
+			recall = 100 * float64(kept) / float64(r.Dataset.Truth.NumMatches())
+		}
+		// The crowd-spend snapshot taken right after blocking covers the
+		// blocking forest's training labels and rule evaluation.
+		cost, pairs := 0.0, 0
+		if blk.Triggered {
+			cost = r.Result.BlockingAccounting.Cost
+			pairs = r.Result.BlockingAccounting.Pairs
+		}
+		t.add(r.Dataset.Name, int64s(blk.CartesianSize), ints(len(blk.Candidates)),
+			f1s(recall), usd(cost), ints(pairs), ints(len(blk.Selected)))
+	}
+	return "Table 3: Blocking results.\n" + t.String()
+}
+
+// Table4 renders the per-iteration trace (paper's Table 4).
+func Table4(runs []DatasetRun) string {
+	var b strings.Builder
+	b.WriteString("Table 4: Corleone's performance per iteration.\n")
+	t := &textTable{header: []string{"Datasets", "Phase", "# Pairs",
+		"P", "R", "F1", "Reduced Set"}}
+	for _, r := range runs {
+		for _, ph := range r.Result.Phases {
+			var p, rr, f1, reduced string
+			switch {
+			case ph.HasTrue:
+				p, rr, f1 = f1s(ph.True.P), f1s(ph.True.R), f1s(ph.True.F1)
+			case ph.HasEst:
+				p, rr, f1 = f1s(ph.Estimated.P), f1s(ph.Estimated.R), f1s(ph.Estimated.F1)
+			}
+			if strings.HasPrefix(ph.Name, "Reduction") {
+				reduced = ints(ph.ReducedSetSize)
+			}
+			t.add(r.Dataset.Name, ph.Name, ints(ph.PairsLabeled), p, rr, f1, reduced)
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/datagen"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// VotingRow is one aggregation scheme's outcome on a simulated panel.
+type VotingRow struct {
+	Scheme string
+	// LabelAccuracy is the fraction of aggregated labels matching truth,
+	// split by class (false positives are what §8.2 worries about).
+	LabelAccuracy float64
+	FalsePosRate  float64
+	FalseNegRate  float64
+	// AnswersPerPair is the average crowd answers consumed per labeled pair.
+	AnswersPerPair float64
+}
+
+// VotingAblation settles §8.2's open question empirically on our simulated
+// panel: compare 2+1 majority, strong majority, the paper's hybrid scheme,
+// and Dawid-Skene EM aggregation on the same set of pairs answered by a
+// mixed panel (diligent workers + spammers). Reported per scheme: label
+// accuracy, false-positive/negative rates, and answers consumed.
+func VotingAblation(nPairs int, accuracy float64, nSpam int, seed int64) ([]VotingRow, string) {
+	// Build a balanced question set from a small synthetic dataset so the
+	// pairs are real tuples (the crowd model only needs the gold labels).
+	ds := datagen.Generate(datagen.Scaled(datagen.RestaurantsPaper, 0.5))
+	var pairs []record.Pair
+	matches := ds.Truth.Matches()
+	half := nPairs / 2
+	if half > len(matches) {
+		half = len(matches)
+	}
+	pairs = append(pairs, matches[:half]...)
+	for a := 0; len(pairs) < nPairs && a < ds.A.Len(); a++ {
+		for b := 0; len(pairs) < nPairs && b < ds.B.Len(); b++ {
+			p := record.P(a, b)
+			if !ds.Truth.Match(p) {
+				pairs = append(pairs, p)
+			}
+		}
+	}
+
+	var rows []VotingRow
+	score := func(scheme string, labels map[record.Pair]bool, answers int) {
+		var fp, fn, posTotal, negTotal int
+		for _, p := range pairs {
+			truth := ds.Truth.Match(p)
+			if truth {
+				posTotal++
+				if !labels[p] {
+					fn++
+				}
+			} else {
+				negTotal++
+				if labels[p] {
+					fp++
+				}
+			}
+		}
+		row := VotingRow{
+			Scheme:         scheme,
+			LabelAccuracy:  100 * (1 - float64(fp+fn)/float64(len(pairs))),
+			AnswersPerPair: float64(answers) / float64(len(pairs)),
+		}
+		if negTotal > 0 {
+			row.FalsePosRate = 100 * float64(fp) / float64(negTotal)
+		}
+		if posTotal > 0 {
+			row.FalseNegRate = 100 * float64(fn) / float64(posTotal)
+		}
+		rows = append(rows, row)
+	}
+
+	newPanel := func() *crowd.Panel {
+		return crowd.MixedPanel(ds.Truth, 8, accuracy, nSpam, seed*101+7)
+	}
+
+	// Runner-based schemes: each gets a fresh panel and cache.
+	for _, policy := range []crowd.Policy{crowd.Policy21, crowd.PolicyStrong, crowd.PolicyHybrid} {
+		runner := crowd.NewRunner(newPanel(), 0.01)
+		labels := map[record.Pair]bool{}
+		for _, p := range pairs {
+			labels[p] = runner.Label(p, policy)
+		}
+		score(policy.String(), labels, runner.Stats().Answers)
+	}
+
+	// Dawid-Skene with a fixed 5 answers per pair (its natural regime:
+	// batch aggregation over attributed votes).
+	panel := newPanel()
+	votes := crowd.CollectVotes(panel, pairs, 5)
+	ds5 := crowd.DawidSkene(votes, panel.NumWorkers(), 100, 1e-7)
+	score("dawid-skene(5)", ds5.Labels, len(votes))
+
+	t := &textTable{header: []string{"Scheme", "Label acc (%)", "FP rate (%)",
+		"FN rate (%)", "Answers/pair"}}
+	for _, r := range rows {
+		t.add(r.Scheme, f1s(r.LabelAccuracy), f1s(r.FalsePosRate),
+			f1s(r.FalseNegRate), f2s(r.AnswersPerPair))
+	}
+	title := fmt.Sprintf(
+		"Voting-scheme ablation (§8.2): %d pairs, %d diligent workers @%.0f%%, %d spammers.\n",
+		len(pairs), 8, 100*accuracy, nSpam)
+	return rows, title + t.String()
+}
+
+// NoiseCostCurve sweeps the simulated error rate and reports the answers
+// needed per pair under the hybrid scheme — the §9.4 justification for 7
+// answers on positives made visible.
+func NoiseCostCurve(errorRates []float64, nPairs int, seed int64) (map[float64]float64, string) {
+	ds := datagen.Generate(datagen.Scaled(datagen.RestaurantsPaper, 0.5))
+	matches := ds.Truth.Matches()
+	if nPairs > len(matches) {
+		nPairs = len(matches)
+	}
+	out := map[float64]float64{}
+	t := &textTable{header: []string{"Error rate", "Answers/pair (positives, hybrid)"}}
+	for _, er := range errorRates {
+		runner := crowd.NewRunner(crowd.NewSimulated(ds.Truth, er, seed*3+1), 0.01)
+		for _, p := range matches[:nPairs] {
+			runner.Label(p, crowd.PolicyHybrid)
+		}
+		app := float64(runner.Stats().Answers) / float64(nPairs)
+		out[er] = app
+		t.add(fmt.Sprintf("%.0f%%", 100*er), f2s(app))
+	}
+	return out, "Answers per positive pair vs crowd error (hybrid voting).\n" + t.String()
+}

@@ -1,0 +1,230 @@
+// Package feature implements Corleone's feature library (§4.1 step 3 and
+// §5.1): every tuple pair is converted into a vector of similarity scores,
+// one per (attribute, measure) combination appropriate for the attribute's
+// type. The library also carries a per-feature cost model used by the
+// Blocker's greedy rule selection (§4.3), and supports lazy single-feature
+// evaluation so blocking rules can short-circuit over A×B.
+package feature
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/similarity"
+	"github.com/corleone-em/corleone/internal/strutil"
+)
+
+// Missing is the sentinel vector value for a feature whose inputs are
+// absent. It sits below every genuine similarity (which live in [0, 1]) so
+// decision-tree thresholds can route missing values down their own branch.
+const Missing = -1.0
+
+// Feature is one column of the feature vector: a similarity measure bound
+// to an attribute.
+type Feature struct {
+	// Name is a stable human-readable identifier such as "title_jaccard_w";
+	// extracted rules print it.
+	Name string
+	// Attr is the attribute the feature compares; AttrIdx its schema index.
+	Attr    string
+	AttrIdx int
+	// Kind names the measure ("edit", "jaccard_w", ...).
+	Kind string
+	// Cost is the relative compute cost of the measure, in arbitrary units;
+	// the Blocker prefers cheap rules all else equal (§4.3).
+	Cost float64
+
+	fn func(a, b string) float64
+}
+
+// Extractor binds a feature library to a dataset and computes vectors.
+type Extractor struct {
+	A, B     *record.Table
+	features []Feature
+}
+
+// measure couples a similarity function with its name and cost.
+type measure struct {
+	kind string
+	cost float64
+	fn   func(a, b string) float64
+}
+
+func numericWrap(f func(x, y float64) float64) func(a, b string) float64 {
+	return func(a, b string) float64 {
+		x, okx := parseNumeric(a)
+		y, oky := parseNumeric(b)
+		if !okx || !oky {
+			return Missing
+		}
+		return f(x, y)
+	}
+}
+
+func parseNumeric(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "$")
+	s = strings.ReplaceAll(s, ",", "")
+	if !strutil.IsNumericString(s) {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// NewExtractor builds the feature library for the dataset's schema. Text
+// attributes get TF/IDF features backed by a corpus built from the values of
+// that attribute across both tables, mirroring how EM systems fit IDF on the
+// data being matched.
+func NewExtractor(ds *record.Dataset) *Extractor {
+	e := &Extractor{A: ds.A, B: ds.B}
+	for idx, attr := range ds.A.Schema {
+		var ms []measure
+		switch attr.Type {
+		case record.AttrString:
+			ms = []measure{
+				{"exact", 1, similarity.ExactMatch},
+				{"jaro_winkler", 2, normWrap(similarity.JaroWinkler)},
+				{"edit", 5, normWrap(similarity.EditSim)},
+				{"jaccard_w", 3, normWrap(similarity.JaccardWords)},
+				{"jaccard_3g", 4, normWrap(similarity.JaccardQGrams)},
+				{"monge_elkan", 8, normWrap(similarity.MongeElkan)},
+			}
+		case record.AttrText:
+			corpus := buildCorpus(ds, idx)
+			ms = []measure{
+				{"jaccard_w", 3, normWrap(similarity.JaccardWords)},
+				{"overlap_w", 3, normWrap(similarity.OverlapWords)},
+				{"tfidf_cos", 4, normWrap(corpus.Cosine)},
+			}
+		case record.AttrNumeric:
+			ms = []measure{
+				{"exact", 1, similarity.ExactMatch},
+				{"rel_diff", 1, numericWrap(similarity.RelativeDiff)},
+				{"abs_diff", 1, numericWrap(similarity.AbsDiff)},
+			}
+		case record.AttrCategorical:
+			ms = []measure{
+				{"exact", 1, similarity.ExactMatch},
+				{"jaccard_3g", 4, normWrap(similarity.JaccardQGrams)},
+				{"jaro_winkler", 2, normWrap(similarity.JaroWinkler)},
+			}
+		}
+		for _, m := range ms {
+			e.features = append(e.features, Feature{
+				Name:    fmt.Sprintf("%s_%s", attr.Name, m.kind),
+				Attr:    attr.Name,
+				AttrIdx: idx,
+				Kind:    m.kind,
+				Cost:    m.cost,
+				fn:      m.fn,
+			})
+		}
+	}
+	return e
+}
+
+// normWrap normalizes inputs and maps missing values to the Missing
+// sentinel before delegating to the measure.
+func normWrap(f func(a, b string) float64) func(a, b string) float64 {
+	return func(a, b string) float64 {
+		na, nb := strutil.Normalize(a), strutil.Normalize(b)
+		if na == "" || nb == "" {
+			return Missing
+		}
+		return f(na, nb)
+	}
+}
+
+func buildCorpus(ds *record.Dataset, attrIdx int) *similarity.Corpus {
+	docs := make([]string, 0, ds.A.Len()+ds.B.Len())
+	for _, row := range ds.A.Rows {
+		docs = append(docs, row[attrIdx])
+	}
+	for _, row := range ds.B.Rows {
+		docs = append(docs, row[attrIdx])
+	}
+	return similarity.NewCorpus(docs)
+}
+
+// NumFeatures returns the width of the feature vector.
+func (e *Extractor) NumFeatures() int { return len(e.features) }
+
+// Features returns the library entries (read-only view).
+func (e *Extractor) Features() []Feature { return e.features }
+
+// Names returns the feature names in vector order.
+func (e *Extractor) Names() []string {
+	out := make([]string, len(e.features))
+	for i, f := range e.features {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Name returns the name of feature i.
+func (e *Extractor) Name(i int) string { return e.features[i].Name }
+
+// Cost returns the compute cost of feature i.
+func (e *Extractor) Cost(i int) float64 { return e.features[i].Cost }
+
+// Compute evaluates a single feature for pair p. This is the lazy path the
+// Blocker uses when applying rules to A×B: only the features a rule actually
+// references are computed.
+func (e *Extractor) Compute(i int, p record.Pair) float64 {
+	f := &e.features[i]
+	return f.fn(e.A.Rows[p.A][f.AttrIdx], e.B.Rows[p.B][f.AttrIdx])
+}
+
+// Vector computes the full feature vector for pair p.
+func (e *Extractor) Vector(p record.Pair) []float64 {
+	v := make([]float64, len(e.features))
+	for i := range e.features {
+		v[i] = e.Compute(i, p)
+	}
+	return v
+}
+
+// Vectors computes feature vectors for all pairs, fanning out across
+// GOMAXPROCS goroutines. Order matches the input order.
+func (e *Extractor) Vectors(pairs []record.Pair) [][]float64 {
+	out := make([][]float64, len(pairs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		for i, p := range pairs {
+			out[i] = e.Vector(p)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = e.Vector(pairs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,195 @@
+// Package forest implements the random-forest matcher of §5.1: k decision
+// trees trained independently, each on a random 60% portion of the training
+// data with m = log2(n)+1 random features per split, combined by majority
+// vote. It also provides the prediction entropy/confidence of Eq. 1 that
+// drives active learning, and extraction of deduplicated positive and
+// negative rules across trees (§4.1, §7).
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/corleone-em/corleone/internal/stats"
+	"github.com/corleone-em/corleone/internal/tree"
+)
+
+// Config carries the paper's random-forest hyperparameters.
+type Config struct {
+	// NumTrees is k; the paper (and Weka's default) uses 10.
+	NumTrees int
+	// BagFraction is the random portion of training data per tree
+	// (paper: 60%), sampled without replacement.
+	BagFraction float64
+	// FeaturesPerSplit is m; 0 means the paper's default log2(n)+1.
+	FeaturesPerSplit int
+	// MinLeaf is the minimum examples per leaf (default 1, Weka's default).
+	MinLeaf int
+	// MaxDepth bounds tree depth; 0 means unbounded.
+	MaxDepth int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// Defaults returns the paper's configuration.
+func Defaults() Config {
+	return Config{NumTrees: 10, BagFraction: 0.6, MinLeaf: 1, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 10
+	}
+	if c.BagFraction <= 0 || c.BagFraction > 1 {
+		c.BagFraction = 0.6
+	}
+	if c.MinLeaf < 1 {
+		c.MinLeaf = 1
+	}
+	return c
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	Trees []*tree.Tree
+	cfg   Config
+}
+
+// Train grows a forest on feature matrix X and labels y. It panics if X is
+// empty or ragged — the callers (active learning, blocker) always supply at
+// least the four seed examples.
+func Train(X [][]float64, y []bool, cfg Config) *Forest {
+	cfg = cfg.withDefaults()
+	if len(X) == 0 {
+		panic("forest: empty training set")
+	}
+	if len(X) != len(y) {
+		panic(fmt.Sprintf("forest: %d vectors but %d labels", len(X), len(y)))
+	}
+	nf := len(X[0])
+	m := cfg.FeaturesPerSplit
+	if m <= 0 {
+		m = int(math.Log2(float64(nf))) + 1
+	}
+	if m > nf {
+		m = nf
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{cfg: cfg}
+	bag := int(math.Ceil(cfg.BagFraction * float64(len(X))))
+	if bag < 1 {
+		bag = 1
+	}
+	for t := 0; t < cfg.NumTrees; t++ {
+		treeRng := rand.New(rand.NewSource(rng.Int63()))
+		idx := stats.SampleIndices(treeRng, len(X), bag)
+		f.Trees = append(f.Trees, tree.Grow(X, y, idx, tree.Config{
+			MaxDepth:         cfg.MaxDepth,
+			MinLeaf:          cfg.MinLeaf,
+			FeaturesPerSplit: m,
+			Rand:             treeRng,
+		}))
+	}
+	return f
+}
+
+// PosFraction returns P+(e): the fraction of trees voting "match" on v.
+func (f *Forest) PosFraction(v []float64) float64 {
+	pos := 0
+	for _, t := range f.Trees {
+		if t.Predict(v) {
+			pos++
+		}
+	}
+	return float64(pos) / float64(len(f.Trees))
+}
+
+// Predict returns the majority vote (ties go to "no match", the safe
+// default under EM's skew).
+func (f *Forest) Predict(v []float64) bool {
+	return f.PosFraction(v) > 0.5
+}
+
+// Entropy computes Eq. 1: -[P+ ln P+ + P- ln P-], the disagreement of the
+// component trees on example v. It ranges over [0, ln 2].
+func (f *Forest) Entropy(v []float64) float64 {
+	return EntropyOf(f.PosFraction(v))
+}
+
+// EntropyOf computes Eq. 1 from a positive-vote fraction.
+func EntropyOf(pPos float64) float64 {
+	h := 0.0
+	if pPos > 0 {
+		h -= pPos * math.Log(pPos)
+	}
+	if pNeg := 1 - pPos; pNeg > 0 {
+		h -= pNeg * math.Log(pNeg)
+	}
+	return h
+}
+
+// Confidence returns conf(e) = 1 - entropy(e) (§5.3).
+func (f *Forest) Confidence(v []float64) float64 {
+	return 1 - f.Entropy(v)
+}
+
+// MeanConfidence returns conf(V) averaged over a monitoring set (§5.3).
+func (f *Forest) MeanConfidence(V [][]float64) float64 {
+	if len(V) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, v := range V {
+		sum += f.Confidence(v)
+	}
+	return sum / float64(len(V))
+}
+
+// Rules extracts every decision rule from every tree, deduplicated by
+// logical content, split into negative (blocking/reduction candidates) and
+// positive rules. Within each polarity, rules keep first-seen order, which
+// is deterministic given the training seed.
+func (f *Forest) Rules() (negative, positive []tree.Rule) {
+	seen := map[string]bool{}
+	for _, t := range f.Trees {
+		for _, r := range t.Rules() {
+			// A rule with no predicates (single-leaf tree) covers
+			// everything and carries no information; skip it.
+			if len(r.Preds) == 0 {
+				continue
+			}
+			k := r.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if r.Positive {
+				positive = append(positive, r)
+			} else {
+				negative = append(negative, r)
+			}
+		}
+	}
+	return negative, positive
+}
+
+// NumLeaves returns the total leaf count across trees (the paper reports
+// 8–655 leaves per tree on its datasets).
+func (f *Forest) NumLeaves() int {
+	n := 0
+	for _, t := range f.Trees {
+		n += t.NumLeaves()
+	}
+	return n
+}
+
+// String renders all trees with the given feature-name resolver.
+func (f *Forest) String(name func(int) string) string {
+	var b strings.Builder
+	for i, t := range f.Trees {
+		fmt.Fprintf(&b, "Tree %d:\n%s", i+1, t.String(name))
+	}
+	return b.String()
+}

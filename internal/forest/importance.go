@@ -1,0 +1,83 @@
+package forest
+
+import "github.com/corleone-em/corleone/internal/tree"
+
+// FeatureImportance returns the mean-decrease-in-impurity importance of
+// each feature, normalized to sum to 1: every split's Gini decrease,
+// weighted by the fraction of training examples reaching it, credited to
+// the split feature and summed across trees. Useful for explaining what a
+// trained matcher keys on (the brand/ISBN-style near-keys dominate on the
+// synthetic datasets, as they should).
+func (f *Forest) FeatureImportance(numFeatures int) []float64 {
+	imp := make([]float64, numFeatures)
+	for _, t := range f.Trees {
+		total := float64(t.Root.Pos + t.Root.Neg)
+		if total == 0 {
+			continue
+		}
+		var walk func(n *tree.Node)
+		walk = func(n *tree.Node) {
+			if n == nil || n.IsLeaf() {
+				return
+			}
+			nN := float64(n.Pos + n.Neg)
+			gParent := gini2(n.Pos, n.Neg)
+			lN := float64(n.Left.Pos + n.Left.Neg)
+			rN := float64(n.Right.Pos + n.Right.Neg)
+			gChildren := 0.0
+			if nN > 0 {
+				gChildren = lN/nN*gini2(n.Left.Pos, n.Left.Neg) +
+					rN/nN*gini2(n.Right.Pos, n.Right.Neg)
+			}
+			if dec := gParent - gChildren; dec > 0 && n.Feature < numFeatures {
+				imp[n.Feature] += (nN / total) * dec
+			}
+			walk(n.Left)
+			walk(n.Right)
+		}
+		walk(t.Root)
+	}
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range imp {
+			imp[i] /= sum
+		}
+	}
+	return imp
+}
+
+func gini2(pos, neg int) float64 {
+	n := float64(pos + neg)
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / n
+	return 2 * p * (1 - p)
+}
+
+// TopFeatures returns the indices of the k most important features,
+// best-first.
+func (f *Forest) TopFeatures(numFeatures, k int) []int {
+	imp := f.FeatureImportance(numFeatures)
+	idx := make([]int, numFeatures)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection sort: k is tiny.
+	if k > numFeatures {
+		k = numFeatures
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < numFeatures; j++ {
+			if imp[idx[j]] > imp[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}

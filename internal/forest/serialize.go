@@ -1,0 +1,116 @@
+package forest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/corleone-em/corleone/internal/tree"
+)
+
+// savedNode is the JSON form of a tree node, flattened pre-order.
+type savedNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t,omitempty"`
+	Label     bool    `json:"y,omitempty"`
+	Pos       int     `json:"p,omitempty"`
+	Neg       int     `json:"n,omitempty"`
+	// Left and Right are indices into the node array; -1 for leaves.
+	Left  int `json:"l"`
+	Right int `json:"r"`
+}
+
+type savedTree struct {
+	Nodes []savedNode `json:"nodes"`
+}
+
+type savedForest struct {
+	// FeatureNames pins the feature order the model was trained with; Load
+	// verifies it against the target extractor so a model is never applied
+	// to a differently-shaped vector.
+	FeatureNames []string    `json:"feature_names"`
+	Trees        []savedTree `json:"trees"`
+}
+
+// Save serializes the forest as JSON, recording featureNames so the model
+// can later be applied to data featurized the same way (the paper's
+// Example 3.1: a trained toy matcher keeps matching future toys).
+func (f *Forest) Save(w io.Writer, featureNames []string) error {
+	out := savedForest{FeatureNames: featureNames}
+	for _, t := range f.Trees {
+		var st savedTree
+		var flatten func(n *tree.Node) int
+		flatten = func(n *tree.Node) int {
+			idx := len(st.Nodes)
+			st.Nodes = append(st.Nodes, savedNode{Left: -1, Right: -1})
+			if n.IsLeaf() {
+				st.Nodes[idx] = savedNode{Feature: -1, Label: n.Label,
+					Pos: n.Pos, Neg: n.Neg, Left: -1, Right: -1}
+				return idx
+			}
+			st.Nodes[idx].Feature = n.Feature
+			st.Nodes[idx].Threshold = n.Threshold
+			st.Nodes[idx].Pos = n.Pos
+			st.Nodes[idx].Neg = n.Neg
+			st.Nodes[idx].Left = flatten(n.Left)
+			st.Nodes[idx].Right = flatten(n.Right)
+			return idx
+		}
+		flatten(t.Root)
+		out.Trees = append(out.Trees, st)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load deserializes a forest saved with Save. featureNames, when non-nil,
+// must match the names recorded at save time — applying a model to a
+// different featurization silently produces garbage, so it is an error.
+func Load(r io.Reader, featureNames []string) (*Forest, error) {
+	var in savedForest
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("forest: load: %w", err)
+	}
+	if featureNames != nil {
+		if len(featureNames) != len(in.FeatureNames) {
+			return nil, fmt.Errorf("forest: model has %d features, extractor %d",
+				len(in.FeatureNames), len(featureNames))
+		}
+		for i := range featureNames {
+			if featureNames[i] != in.FeatureNames[i] {
+				return nil, fmt.Errorf("forest: feature %d is %q in the model but %q here",
+					i, in.FeatureNames[i], featureNames[i])
+			}
+		}
+	}
+	f := &Forest{}
+	for ti, st := range in.Trees {
+		if len(st.Nodes) == 0 {
+			return nil, fmt.Errorf("forest: tree %d is empty", ti)
+		}
+		nodes := make([]*tree.Node, len(st.Nodes))
+		for i, sn := range st.Nodes {
+			nodes[i] = &tree.Node{
+				Feature:   sn.Feature,
+				Threshold: sn.Threshold,
+				Label:     sn.Label,
+				Pos:       sn.Pos,
+				Neg:       sn.Neg,
+			}
+		}
+		for i, sn := range st.Nodes {
+			if sn.Feature < 0 {
+				continue // leaf
+			}
+			if sn.Left < 0 || sn.Left >= len(nodes) ||
+				sn.Right < 0 || sn.Right >= len(nodes) ||
+				sn.Left == i || sn.Right == i {
+				return nil, fmt.Errorf("forest: tree %d node %d has invalid children", ti, i)
+			}
+			nodes[i].Left = nodes[sn.Left]
+			nodes[i].Right = nodes[sn.Right]
+		}
+		f.Trees = append(f.Trees, &tree.Tree{Root: nodes[0]})
+	}
+	return f, nil
+}

@@ -1,0 +1,151 @@
+// Package locator implements §7, the Difficult Pairs' Locator: extract
+// highly precise positive AND negative rules from the current matcher's
+// forest, crowd-certify them, and remove every pair they cover — those
+// pairs are "easy" because a precise rule already decides them. What
+// remains is the difficult set C', on which the next iteration trains a
+// fresh matcher.
+package locator
+
+import (
+	"math/rand"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/forest"
+	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/ruleeval"
+	"github.com/corleone-em/corleone/internal/tree"
+)
+
+// Config carries the §7 parameters.
+type Config struct {
+	// TopK is the number of rules of each polarity sent to crowd
+	// evaluation (paper: 20, as elsewhere).
+	TopK int
+	// MinDifficult is the smallest difficult set worth iterating on
+	// (paper: 200).
+	MinDifficult int
+	// MaxFraction: if |C'| >= MaxFraction * |C| no meaningful reduction
+	// happened and iteration stops (paper: 0.9).
+	MaxFraction float64
+	// RuleEval configures crowd certification of the extracted rules.
+	RuleEval ruleeval.Config
+	// Seed drives rule-evaluation sampling.
+	Seed int64
+}
+
+// Defaults returns the paper's configuration.
+func Defaults() Config {
+	return Config{
+		TopK:         20,
+		MinDifficult: 200,
+		MaxFraction:  0.9,
+		RuleEval:     ruleeval.Defaults(),
+		Seed:         1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.TopK <= 0 {
+		c.TopK = d.TopK
+	}
+	if c.MinDifficult <= 0 {
+		c.MinDifficult = d.MinDifficult
+	}
+	if c.MaxFraction <= 0 {
+		c.MaxFraction = d.MaxFraction
+	}
+	return c
+}
+
+// Result reports the located difficult set.
+type Result struct {
+	// DifficultIdx are indices into the candidate set of the pairs not
+	// covered by any certified rule.
+	DifficultIdx []int
+	// NegativeRules and PositiveRules are the certified rules applied.
+	NegativeRules []tree.Rule
+	PositiveRules []tree.Rule
+	// Evaluated records all crowd evaluations (for the rule audit).
+	Evaluated []ruleeval.Result
+	// Proceed reports whether the difficult set passes the §7 size tests
+	// and a new iteration should run.
+	Proceed bool
+	// Reason explains a false Proceed.
+	Reason string
+}
+
+// Locate runs the Difficult Pairs' Locator for matcher f over the candidate
+// set (pairs, X). known supplies already-labeled examples for the §4.2
+// upper-bound ranking.
+func Locate(rng *rand.Rand, runner *crowd.Runner, f *forest.Forest,
+	pairs []record.Pair, X [][]float64, known []record.Labeled, cfg Config) *Result {
+
+	cfg = cfg.withDefaults()
+	res := &Result{}
+
+	negRules, posRules := f.Rules()
+	pairIdx := make(map[record.Pair]int, len(pairs))
+	for i, p := range pairs {
+		pairIdx[p] = i
+	}
+	knownPos := map[int]bool{}
+	knownNeg := map[int]bool{}
+	for _, l := range known {
+		if i, ok := pairIdx[l.Pair]; ok {
+			if l.Match {
+				knownPos[i] = true
+			} else {
+				knownNeg[i] = true
+			}
+		}
+	}
+
+	// §7 step 1: certify top-k negative rules (contradicted by known
+	// positives) and top-k positive rules (contradicted by known
+	// negatives) exactly as in §4.2.
+	topNeg := ruleeval.SelectTopK(ruleeval.MakeCandidates(negRules, X), knownPos, cfg.TopK)
+	topPos := ruleeval.SelectTopK(ruleeval.MakeCandidates(posRules, X), knownNeg, cfg.TopK)
+
+	evalNeg := ruleeval.EvaluateJoint(rng, runner, pairs, topNeg, cfg.RuleEval)
+	evalPos := ruleeval.EvaluateJoint(rng, runner, pairs, topPos, cfg.RuleEval)
+	res.Evaluated = append(append([]ruleeval.Result{}, evalNeg...), evalPos...)
+
+	covered := make([]bool, len(pairs))
+	for _, ev := range evalNeg {
+		if !ev.Kept {
+			continue
+		}
+		res.NegativeRules = append(res.NegativeRules, ev.Candidate.Rule)
+		for _, idx := range ev.Candidate.Coverage {
+			covered[idx] = true
+		}
+	}
+	for _, ev := range evalPos {
+		if !ev.Kept {
+			continue
+		}
+		res.PositiveRules = append(res.PositiveRules, ev.Candidate.Rule)
+		for _, idx := range ev.Candidate.Coverage {
+			covered[idx] = true
+		}
+	}
+
+	// §7 step 2: the uncovered pairs are the difficult set.
+	for i := range pairs {
+		if !covered[i] {
+			res.DifficultIdx = append(res.DifficultIdx, i)
+		}
+	}
+
+	// §7 termination tests.
+	switch {
+	case len(res.DifficultIdx) < cfg.MinDifficult:
+		res.Reason = "difficult set too small"
+	case float64(len(res.DifficultIdx)) >= cfg.MaxFraction*float64(len(pairs)):
+		res.Reason = "no significant reduction"
+	default:
+		res.Proceed = true
+	}
+	return res
+}

@@ -1,0 +1,237 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// Client is a thin requester/worker HTTP client for the marketplace.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient targets the marketplace at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *Client) post(path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return errNoContent
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("platform: %s: %s", resp.Status, msg)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+var errNoContent = fmt.Errorf("platform: no work available")
+
+// CreateHIT posts a HIT and returns its id.
+func (c *Client) CreateHIT(h HIT) (string, error) {
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.post("/hits", h, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Status fetches a HIT's progress.
+func (c *Client) Status(hitID string) (*HITStatus, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/hits/" + hitID)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("platform: %s: %s", resp.Status, msg)
+	}
+	var st HITStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Claim asks for the next assignment for the worker; errNoContent-wrapped
+// nil means no work.
+func (c *Client) Claim(worker string) (*Assignment, error) {
+	var a Assignment
+	err := c.post("/assignments?worker="+worker, nil, &a)
+	if err == errNoContent {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// Submit sends a worker's answers.
+func (c *Client) Submit(assignmentID string, answers []bool) error {
+	return c.post("/assignments/"+assignmentID+"/submit", AnswerSet{Answers: answers}, nil)
+}
+
+// WorkerPool runs n simulated workers against the marketplace, each
+// answering with the supplied crowd model. Call Stop to shut down.
+type WorkerPool struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartWorkers launches the pool. Each worker polls for assignments and
+// answers every question via model (question IDs must encode the pair, as
+// RemoteCrowd does).
+func StartWorkers(client *Client, n int, model crowd.Crowd, poll time.Duration) *WorkerPool {
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	wp := &WorkerPool{stop: make(chan struct{}), done: make(chan struct{})}
+	var running int
+	finished := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		running++
+		go func(worker string) {
+			defer func() { finished <- struct{}{} }()
+			for {
+				select {
+				case <-wp.stop:
+					return
+				default:
+				}
+				a, err := client.Claim(worker)
+				if err != nil || a == nil {
+					select {
+					case <-wp.stop:
+						return
+					case <-time.After(poll):
+					}
+					continue
+				}
+				answers := make([]bool, len(a.HIT.Questions))
+				for qi, q := range a.HIT.Questions {
+					p, perr := DecodeQuestionID(q.ID)
+					if perr == nil {
+						answers[qi] = model.Answer(p)
+					}
+				}
+				_ = client.Submit(a.ID, answers)
+			}
+		}(fmt.Sprintf("worker-%d", i))
+	}
+	go func() {
+		for i := 0; i < running; i++ {
+			<-finished
+		}
+		close(wp.done)
+	}()
+	return wp
+}
+
+// Stop shuts the pool down and waits for the workers to exit.
+func (wp *WorkerPool) Stop() {
+	close(wp.stop)
+	<-wp.done
+}
+
+// EncodeQuestionID packs a pair into a question id ("a:b").
+func EncodeQuestionID(p record.Pair) string {
+	return strconv.Itoa(int(p.A)) + ":" + strconv.Itoa(int(p.B))
+}
+
+// DecodeQuestionID unpacks a question id produced by EncodeQuestionID.
+func DecodeQuestionID(id string) (record.Pair, error) {
+	var a, b int
+	if _, err := fmt.Sscanf(id, "%d:%d", &a, &b); err != nil {
+		return record.Pair{}, err
+	}
+	return record.P(a, b), nil
+}
+
+// RemoteCrowd adapts the marketplace to Corleone's Crowd interface: each
+// Answer posts a single-question HIT with one assignment and blocks until
+// a worker submits. (Corleone's Runner supplies batching, voting, and
+// caching above this layer; the marketplace enforces the HIT shape.)
+type RemoteCrowd struct {
+	Client      *Client
+	Dataset     *record.Dataset
+	RewardCents int
+	// Poll is the status-poll interval (default 1ms — tests run the
+	// marketplace in-process).
+	Poll time.Duration
+	// Timeout bounds one answer round trip (default 10s).
+	Timeout time.Duration
+}
+
+// Answer implements crowd.Crowd over the HTTP marketplace.
+func (rc *RemoteCrowd) Answer(p record.Pair) bool {
+	poll := rc.Poll
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	timeout := rc.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	q := Question{
+		ID:      EncodeQuestionID(p),
+		RecordA: tupleMap(rc.Dataset, rc.Dataset.A, int(p.A)),
+		RecordB: tupleMap(rc.Dataset, rc.Dataset.B, int(p.B)),
+	}
+	id, err := rc.Client.CreateHIT(HIT{
+		Title:          "Do these records match?",
+		Instruction:    rc.Dataset.Instruction,
+		Questions:      []Question{q},
+		RewardCents:    rc.RewardCents,
+		MaxAssignments: 1,
+	})
+	if err != nil {
+		return false
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, err := rc.Client.Status(id)
+		if err == nil && st.Complete && len(st.Results) > 0 && len(st.Results[0].Answers) > 0 {
+			return st.Results[0].Answers[0]
+		}
+		time.Sleep(poll)
+	}
+	return false
+}
+
+func tupleMap(ds *record.Dataset, t *record.Table, row int) map[string]string {
+	out := make(map[string]string, len(t.Schema))
+	for i, attr := range t.Schema {
+		out[attr.Name] = t.Rows[row][i]
+	}
+	return out
+}

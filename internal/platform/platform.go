@@ -1,0 +1,286 @@
+// Package platform implements a minimal crowdsourcing marketplace in the
+// shape of Mechanical Turk's requester API — the piece a production
+// Corleone deployment would talk to (§8.1). It provides:
+//
+//   - Server: an in-memory HIT marketplace served over HTTP. Requesters
+//     post HITs (batches of up to 10 match questions with a per-question
+//     reward); workers poll for assignments and submit answers; the
+//     requester polls for results.
+//   - WorkerPool: simulated workers that poll the marketplace and answer
+//     using any crowd model (oracle, random-worker, mixed panel).
+//   - RemoteCrowd: a crowd.Crowd adapter that turns Corleone's label
+//     requests into HITs on the marketplace, so the whole pipeline can run
+//     against the HTTP API exactly as it would against AMT.
+//
+// Everything is stdlib net/http + encoding/json; tests drive it through
+// httptest.
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Question is one match question within a HIT.
+type Question struct {
+	// ID is requester-assigned and opaque to the platform.
+	ID string `json:"id"`
+	// RecordA and RecordB are the rendered tuples the worker compares.
+	RecordA map[string]string `json:"record_a"`
+	RecordB map[string]string `json:"record_b"`
+}
+
+// HIT is a posted Human Intelligence Task: up to 10 questions (§8.1).
+type HIT struct {
+	ID          string     `json:"id"`
+	Title       string     `json:"title"`
+	Instruction string     `json:"instruction"`
+	Questions   []Question `json:"questions"`
+	// RewardCents is the per-question payment.
+	RewardCents int `json:"reward_cents"`
+	// MaxAssignments is how many distinct workers may answer (votes).
+	MaxAssignments int `json:"max_assignments"`
+}
+
+// Assignment is one worker's claim on a HIT.
+type Assignment struct {
+	ID     string `json:"id"`
+	HITID  string `json:"hit_id"`
+	Worker string `json:"worker"`
+	HIT    *HIT   `json:"hit"`
+}
+
+// AnswerSet is a worker's submitted answers, aligned with HIT.Questions.
+type AnswerSet struct {
+	Answers []bool `json:"answers"`
+}
+
+// QuestionResult aggregates the answers received for one question.
+type QuestionResult struct {
+	ID      string `json:"id"`
+	Answers []bool `json:"answers"`
+	Workers []string
+}
+
+// HITStatus is the requester-facing view of a HIT's progress.
+type HITStatus struct {
+	HIT       *HIT             `json:"hit"`
+	Submitted int              `json:"submitted"`
+	Complete  bool             `json:"complete"`
+	Results   []QuestionResult `json:"results"`
+}
+
+// MaxQuestionsPerHIT enforces the §8.1 HIT size.
+const MaxQuestionsPerHIT = 10
+
+// Server is the in-memory marketplace.
+type Server struct {
+	mu          sync.Mutex
+	nextID      int
+	hits        map[string]*hitState
+	open        []string // HIT ids with assignment capacity left
+	paidCents   int
+	assignments map[string]*Assignment
+}
+
+type hitState struct {
+	hit       *HIT
+	claimed   map[string]bool // workers who claimed it
+	submitted int
+	results   []QuestionResult
+}
+
+// NewServer returns an empty marketplace.
+func NewServer() *Server {
+	return &Server{
+		hits:        map[string]*hitState{},
+		assignments: map[string]*Assignment{},
+	}
+}
+
+// TotalPaidCents reports the money paid out to workers so far.
+func (s *Server) TotalPaidCents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.paidCents
+}
+
+// CreateHIT registers a HIT and returns its id.
+func (s *Server) CreateHIT(h HIT) (string, error) {
+	if len(h.Questions) == 0 {
+		return "", fmt.Errorf("platform: HIT has no questions")
+	}
+	if len(h.Questions) > MaxQuestionsPerHIT {
+		return "", fmt.Errorf("platform: HIT has %d questions, max %d",
+			len(h.Questions), MaxQuestionsPerHIT)
+	}
+	if h.MaxAssignments <= 0 {
+		h.MaxAssignments = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	h.ID = fmt.Sprintf("HIT%06d", s.nextID)
+	st := &hitState{hit: &h, claimed: map[string]bool{}}
+	st.results = make([]QuestionResult, len(h.Questions))
+	for i, q := range h.Questions {
+		st.results[i] = QuestionResult{ID: q.ID}
+	}
+	s.hits[h.ID] = st
+	s.open = append(s.open, h.ID)
+	return h.ID, nil
+}
+
+// ClaimNext assigns the oldest open HIT the worker has not already worked
+// on. Returns nil when nothing is available.
+func (s *Server) ClaimNext(worker string) *Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.open {
+		st := s.hits[id]
+		if st.claimed[worker] || len(st.claimed) >= st.hit.MaxAssignments {
+			continue
+		}
+		st.claimed[worker] = true
+		s.nextID++
+		a := &Assignment{
+			ID:     fmt.Sprintf("ASN%06d", s.nextID),
+			HITID:  id,
+			Worker: worker,
+			HIT:    st.hit,
+		}
+		s.assignments[a.ID] = a
+		return a
+	}
+	return nil
+}
+
+// Submit records a worker's answers for an assignment and pays them.
+func (s *Server) Submit(assignmentID string, answers []bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.assignments[assignmentID]
+	if !ok {
+		return fmt.Errorf("platform: unknown assignment %q", assignmentID)
+	}
+	st := s.hits[a.HITID]
+	if len(answers) != len(st.hit.Questions) {
+		return fmt.Errorf("platform: %d answers for %d questions",
+			len(answers), len(st.hit.Questions))
+	}
+	for i, ans := range answers {
+		st.results[i].Answers = append(st.results[i].Answers, ans)
+		st.results[i].Workers = append(st.results[i].Workers, a.Worker)
+	}
+	st.submitted++
+	s.paidCents += st.hit.RewardCents * len(st.hit.Questions)
+	delete(s.assignments, assignmentID)
+	if st.submitted >= st.hit.MaxAssignments {
+		// Remove from the open list.
+		for i, id := range s.open {
+			if id == a.HITID {
+				s.open = append(s.open[:i], s.open[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Status reports a HIT's progress.
+func (s *Server) Status(hitID string) (*HITStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.hits[hitID]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown HIT %q", hitID)
+	}
+	out := &HITStatus{
+		HIT:       st.hit,
+		Submitted: st.submitted,
+		Complete:  st.submitted >= st.hit.MaxAssignments,
+	}
+	out.Results = append(out.Results, st.results...)
+	return out, nil
+}
+
+// Handler exposes the marketplace over HTTP:
+//
+//	POST /hits                      create a HIT            -> {"id": ...}
+//	GET  /hits/{id}                 requester status        -> HITStatus
+//	POST /assignments?worker=w      claim next assignment   -> Assignment or 204
+//	POST /assignments/{id}/submit   submit answers          -> 200
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hits", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var h HIT
+		if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := s.CreateHIT(h)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]string{"id": id})
+	})
+	mux.HandleFunc("/hits/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/hits/")
+		st, err := s.Status(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("/assignments", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		worker := r.URL.Query().Get("worker")
+		if worker == "" {
+			http.Error(w, "missing worker", http.StatusBadRequest)
+			return
+		}
+		a := s.ClaimNext(worker)
+		if a == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, a)
+	})
+	mux.HandleFunc("/assignments/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || !strings.HasSuffix(r.URL.Path, "/submit") {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/assignments/"), "/submit")
+		var ans AnswerSet
+		if err := json.NewDecoder(r.Body).Decode(&ans); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Submit(id, ans.Answers); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,243 @@
+package platform
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/datagen"
+	"github.com/corleone-em/corleone/internal/engine"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+func TestServerHITLifecycle(t *testing.T) {
+	s := NewServer()
+	id, err := s.CreateHIT(HIT{
+		Title:          "t",
+		Questions:      []Question{{ID: "1:2"}, {ID: "3:4"}},
+		RewardCents:    2,
+		MaxAssignments: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two workers claim; the same worker cannot claim twice.
+	a1 := s.ClaimNext("w1")
+	if a1 == nil || a1.HITID != id {
+		t.Fatalf("claim1 = %+v", a1)
+	}
+	if dup := s.ClaimNext("w1"); dup != nil {
+		t.Error("worker claimed the same HIT twice")
+	}
+	a2 := s.ClaimNext("w2")
+	if a2 == nil {
+		t.Fatal("second worker got nothing")
+	}
+	if err := s.Submit(a1.ID, []bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(a2.ID, []bool{true, true}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Complete || st.Submitted != 2 {
+		t.Errorf("status = %+v", st)
+	}
+	if len(st.Results[0].Answers) != 2 || !st.Results[0].Answers[0] {
+		t.Errorf("results[0] = %+v", st.Results[0])
+	}
+	// Pay: 2 assignments x 2 questions x 2 cents.
+	if got := s.TotalPaidCents(); got != 8 {
+		t.Errorf("paid = %d cents, want 8", got)
+	}
+	// HIT left the open list.
+	if a := s.ClaimNext("w3"); a != nil {
+		t.Error("complete HIT still claimable")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	s := NewServer()
+	if _, err := s.CreateHIT(HIT{}); err == nil {
+		t.Error("empty HIT accepted")
+	}
+	qs := make([]Question, MaxQuestionsPerHIT+1)
+	if _, err := s.CreateHIT(HIT{Questions: qs}); err == nil {
+		t.Error("oversized HIT accepted")
+	}
+	if err := s.Submit("nope", nil); err == nil {
+		t.Error("unknown assignment accepted")
+	}
+	id, _ := s.CreateHIT(HIT{Questions: []Question{{ID: "0:0"}}})
+	a := s.ClaimNext("w")
+	if err := s.Submit(a.ID, []bool{true, false}); err == nil {
+		t.Error("wrong answer count accepted")
+	}
+	_ = id
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	id, err := c.CreateHIT(HIT{
+		Questions:      []Question{{ID: "5:7"}},
+		RewardCents:    1,
+		MaxAssignments: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Claim("w1")
+	if err != nil || a == nil {
+		t.Fatalf("claim: %v %v", a, err)
+	}
+	if a.HIT.Questions[0].ID != "5:7" {
+		t.Errorf("question = %+v", a.HIT.Questions[0])
+	}
+	if err := c.Submit(a.ID, []bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Complete || !st.Results[0].Answers[0] {
+		t.Errorf("status = %+v", st)
+	}
+	// Empty market returns no assignment, not an error.
+	if a, err := c.Claim("w2"); err != nil || a != nil {
+		t.Errorf("empty claim = %v, %v", a, err)
+	}
+}
+
+func TestQuestionIDCodec(t *testing.T) {
+	p := record.P(12, 345)
+	got, err := DecodeQuestionID(EncodeQuestionID(p))
+	if err != nil || got != p {
+		t.Errorf("round trip = %v, %v", got, err)
+	}
+	if _, err := DecodeQuestionID("garbage"); err == nil {
+		t.Error("garbage id decoded")
+	}
+}
+
+// TestEndToEndPipelineOverHTTP runs the COMPLETE Corleone pipeline with
+// its crowd answers flowing through the HTTP marketplace: RemoteCrowd
+// posts HITs, a simulated worker pool answers them.
+func TestEndToEndPipelineOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline over HTTP")
+	}
+	ds := datagen.Generate(datagen.Scaled(datagen.RestaurantsPaper, 0.25))
+	server := NewServer()
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	// Workers answer with the paper's random-worker model at 5% error.
+	pool := StartWorkers(client, 4, crowd.NewSimulated(ds.Truth, 0.05, 99), time.Millisecond)
+	defer pool.Stop()
+
+	remote := &RemoteCrowd{Client: client, Dataset: ds, RewardCents: 1}
+	cfg := engine.Defaults()
+	cfg.Seed = 5
+	res, err := engine.Run(ds, remote, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.True.F1 < 80 {
+		t.Errorf("F1 over HTTP marketplace = %.1f", res.True.F1)
+	}
+	// The marketplace actually paid the workers.
+	if server.TotalPaidCents() == 0 {
+		t.Error("no payments recorded")
+	}
+	// Platform payments match Corleone's accounting (1 cent/question).
+	wantCents := int(res.Accounting.Cost*100 + 0.5) // float cents, rounded
+	if got := server.TotalPaidCents(); got != wantCents {
+		t.Errorf("marketplace paid %d cents, Corleone accounted %d", got, wantCents)
+	}
+}
+
+func TestHandlerErrorPaths(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	// Unknown HIT status.
+	if _, err := c.Status("HIT999999"); err == nil {
+		t.Error("unknown HIT accepted")
+	}
+	// Claim without worker id.
+	resp, err := c.HTTP.Post(srv.URL+"/assignments", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("missing worker -> %d, want 400", resp.StatusCode)
+	}
+	// Submit to unknown assignment.
+	if err := c.Submit("nope", []bool{true}); err == nil {
+		t.Error("unknown assignment accepted")
+	}
+	// Wrong method on /hits.
+	resp2, err := c.HTTP.Get(srv.URL + "/hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 405 {
+		t.Errorf("GET /hits -> %d, want 405", resp2.StatusCode)
+	}
+	// Malformed HIT body.
+	resp3, err := c.HTTP.Post(srv.URL+"/hits", "application/json",
+		strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != 400 {
+		t.Errorf("bad HIT body -> %d, want 400", resp3.StatusCode)
+	}
+}
+
+func TestWorkerPoolStops(t *testing.T) {
+	ds := datagen.Generate(datagen.Scaled(datagen.RestaurantsPaper, 0.1))
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	pool := StartWorkers(c, 3, &crowd.Oracle{Truth: ds.Truth}, time.Millisecond)
+	// Post one HIT, let a worker answer it, then stop cleanly.
+	m := ds.Truth.Matches()[0]
+	id, err := c.CreateHIT(HIT{
+		Questions:      []Question{{ID: EncodeQuestionID(m)}},
+		MaxAssignments: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Status(id)
+		if err == nil && st.Complete {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	pool.Stop() // must not hang
+	st, err := c.Status(id)
+	if err != nil || !st.Complete {
+		t.Fatalf("HIT not completed before Stop: %v", err)
+	}
+	if !st.Results[0].Answers[0] {
+		t.Error("oracle worker answered a true match with no")
+	}
+}

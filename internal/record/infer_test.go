@@ -1,0 +1,72 @@
+package record
+
+import "testing"
+
+func TestInferSchema(t *testing.T) {
+	schema := Schema{
+		{Name: "name"}, {Name: "price"}, {Name: "modelno"},
+		{Name: "description"}, {Name: "year"},
+	}
+	a := NewTable("a", schema)
+	b := NewTable("b", append(Schema{}, schema...))
+	a.Append(Tuple{"kingston hyperx", "49.99", "KHX1800C9", "fast reliable memory kit for desktops", "2013"})
+	a.Append(Tuple{"sony camera", "$299.00", "SC900X", "compact zoom lens with image stabilization", "2012"})
+	a.Append(Tuple{"dell monitor", "189.50", "DM2412B", "full hd display with adjustable stand included", "2011"})
+	b.Append(Tuple{"Kingston HyperX", "48.99", "khx1800c9", "fast memory kit great for desktops", ""})
+	b.Append(Tuple{"Sony Cam", "310", "SC900X", "zoom lens camera compact body", "2012"})
+	b.Append(Tuple{"", "", "", "", ""})
+
+	InferSchema(a, b)
+
+	want := map[string]AttrType{
+		"name":        AttrString,
+		"price":       AttrNumeric,
+		"modelno":     AttrCategorical,
+		"description": AttrText,
+		"year":        AttrNumeric,
+	}
+	for i, attr := range a.Schema {
+		if attr.Type != want[attr.Name] {
+			t.Errorf("column %q inferred %v, want %v", attr.Name, attr.Type, want[attr.Name])
+		}
+		if b.Schema[i].Type != attr.Type {
+			t.Errorf("column %q: B schema not updated", attr.Name)
+		}
+	}
+}
+
+func TestInferColumnEmpty(t *testing.T) {
+	if got := inferColumn(nil, nil); got != AttrString {
+		t.Errorf("empty column inferred %v", got)
+	}
+}
+
+func TestIsCodeLike(t *testing.T) {
+	yes := []string{"KHX1800C9D3K2/4G", "978-0262033848", "608-233-1200", "SC900X"}
+	no := []string{"kingston hyperx", "", "hello", "new york"}
+	for _, v := range yes {
+		if !isCodeLike(v) {
+			t.Errorf("isCodeLike(%q) = false", v)
+		}
+	}
+	for _, v := range no {
+		if isCodeLike(v) {
+			t.Errorf("isCodeLike(%q) = true", v)
+		}
+	}
+}
+
+func TestIsNumericValue(t *testing.T) {
+	yes := []string{"42", "$19.99", "1,234", "-3.5"}
+	no := []string{"", "12a", "1.2.3", "abc", "$"}
+	for _, v := range yes {
+		if !isNumericValue(v) {
+			t.Errorf("isNumericValue(%q) = false", v)
+		}
+	}
+	for _, v := range no {
+		if isNumericValue(v) {
+			t.Errorf("isNumericValue(%q) = true", v)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package record defines the relational substrate Corleone matches over:
+// tables of flat tuples with typed attributes, and tuple pairs drawn from
+// the Cartesian product of two tables.
+//
+// The paper's setting (§2) is matching all pairs (a ∈ A, b ∈ B) of two
+// relational tables that refer to the same real-world entity. Everything
+// downstream — feature vectors, blocking rules, crowd questions — is keyed
+// by Pair values that index into the two tables.
+package record
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AttrType classifies an attribute so the feature library can pick
+// appropriate similarity functions (e.g., no TF/IDF on numbers, §5.1).
+type AttrType int
+
+const (
+	// AttrString is a short string such as a name, brand, or city.
+	AttrString AttrType = iota
+	// AttrText is a long free-text field such as a product description.
+	AttrText
+	// AttrNumeric is a numeric field such as price, pages, or year.
+	AttrNumeric
+	// AttrCategorical is a low-cardinality code such as an ISBN or model
+	// number, best compared by exact or near-exact match.
+	AttrCategorical
+)
+
+// String returns the lowercase name of the attribute type.
+func (t AttrType) String() string {
+	switch t {
+	case AttrString:
+		return "string"
+	case AttrText:
+		return "text"
+	case AttrNumeric:
+		return "numeric"
+	case AttrCategorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("AttrType(%d)", int(t))
+	}
+}
+
+// Attribute is one column of a table schema.
+type Attribute struct {
+	Name string
+	Type AttrType
+}
+
+// Schema is an ordered list of attributes shared by both input tables.
+// Corleone assumes the user has aligned the two tables to a common schema
+// (the paper's datasets all come pre-aligned).
+type Schema []Attribute
+
+// Index returns the position of the named attribute, or -1 if absent.
+func (s Schema) Index(name string) int {
+	for i, a := range s {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the attribute names in schema order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, a := range s {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Tuple is one row: attribute values in schema order. Empty string means
+// a missing value.
+type Tuple []string
+
+// Table is a named relation with a schema and rows.
+type Table struct {
+	Name   string
+	Schema Schema
+	Rows   []Tuple
+}
+
+// NewTable returns an empty table with the given name and schema.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Append adds a row, padding or truncating it to the schema width.
+func (t *Table) Append(row Tuple) {
+	switch {
+	case len(row) < len(t.Schema):
+		padded := make(Tuple, len(t.Schema))
+		copy(padded, row)
+		row = padded
+	case len(row) > len(t.Schema):
+		row = row[:len(t.Schema)]
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Value returns the value of the named attribute in row i, or "" if the
+// attribute does not exist.
+func (t *Table) Value(i int, attr string) string {
+	j := t.Schema.Index(attr)
+	if j < 0 {
+		return ""
+	}
+	return t.Rows[i][j]
+}
+
+// Numeric parses the value at (row, col) as a float. The second return is
+// false for missing or unparseable values.
+func (t *Table) Numeric(row, col int) (float64, bool) {
+	v := strings.TrimSpace(t.Rows[row][col])
+	if v == "" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(strings.ReplaceAll(v, ",", ""), 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// WriteCSV writes the table (header row first) to w.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Names()); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table from CSV. The first row must be a header naming the
+// attributes; types are taken from the supplied schema when attribute names
+// match, and default to AttrString otherwise.
+func ReadCSV(name string, r io.Reader, hint Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	schema := make(Schema, len(header))
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		schema[i] = Attribute{Name: h, Type: AttrString}
+		if j := hint.Index(h); j >= 0 {
+			schema[i].Type = hint[j].Type
+		}
+	}
+	t := NewTable(name, schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read row: %w", err)
+		}
+		t.Append(Tuple(rec))
+	}
+	return t, nil
+}
+
+// Pair identifies a candidate match: row A of table A and row B of table B.
+type Pair struct {
+	A, B int32
+}
+
+// P is a convenience constructor for a Pair.
+func P(a, b int) Pair { return Pair{A: int32(a), B: int32(b)} }
+
+// Less orders pairs lexicographically; used for deterministic iteration.
+func (p Pair) Less(q Pair) bool {
+	if p.A != q.A {
+		return p.A < q.A
+	}
+	return p.B < q.B
+}
+
+// String renders the pair as "(a,b)".
+func (p Pair) String() string { return fmt.Sprintf("(%d,%d)", p.A, p.B) }
+
+// SortPairs sorts a pair slice in place, lexicographically.
+func SortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+}
+
+// PairSet is a set of pairs with O(1) membership.
+type PairSet map[Pair]struct{}
+
+// NewPairSet builds a set from the given pairs.
+func NewPairSet(ps ...Pair) PairSet {
+	s := make(PairSet, len(ps))
+	for _, p := range ps {
+		s[p] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts p.
+func (s PairSet) Add(p Pair) { s[p] = struct{}{} }
+
+// Has reports membership.
+func (s PairSet) Has(p Pair) bool { _, ok := s[p]; return ok }
+
+// Slice returns the members in sorted order.
+func (s PairSet) Slice() []Pair {
+	out := make([]Pair, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	SortPairs(out)
+	return out
+}
+
+// Labeled couples a pair with a boolean match label (true = the two tuples
+// refer to the same entity).
+type Labeled struct {
+	Pair  Pair
+	Match bool
+}
+
+// GroundTruth is the gold standard for a dataset: the set of true matches.
+// The simulated crowd and all true-accuracy computations consult it.
+type GroundTruth struct {
+	matches PairSet
+}
+
+// NewGroundTruth builds a gold standard from the true match pairs.
+func NewGroundTruth(matches []Pair) *GroundTruth {
+	return &GroundTruth{matches: NewPairSet(matches...)}
+}
+
+// Match reports whether p is a true match.
+func (g *GroundTruth) Match(p Pair) bool { return g.matches.Has(p) }
+
+// NumMatches returns the number of true matches.
+func (g *GroundTruth) NumMatches() int { return len(g.matches) }
+
+// Matches returns the true match pairs in sorted order.
+func (g *GroundTruth) Matches() []Pair { return g.matches.Slice() }
+
+// CountMatchesIn returns how many of the given pairs are true matches.
+func (g *GroundTruth) CountMatchesIn(ps []Pair) int {
+	n := 0
+	for _, p := range ps {
+		if g.Match(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Dataset bundles everything a Corleone run needs: two tables, the gold
+// standard (used only by the simulated crowd and for reporting true
+// accuracy), the matching instruction shown to the crowd, and the four
+// user-supplied seed examples (two positive, two negative) from §3.
+type Dataset struct {
+	Name        string
+	A, B        *Table
+	Truth       *GroundTruth
+	Instruction string
+	Seeds       []Labeled
+}
+
+// CartesianSize returns |A| * |B|.
+func (d *Dataset) CartesianSize() int64 {
+	return int64(d.A.Len()) * int64(d.B.Len())
+}
+
+// PositiveDensity returns the fraction of A×B that are true matches.
+func (d *Dataset) PositiveDensity() float64 {
+	n := d.CartesianSize()
+	if n == 0 {
+		return 0
+	}
+	return float64(d.Truth.NumMatches()) / float64(n)
+}
+
+// Validate checks structural sanity: aligned schemas, in-range seeds and
+// ground-truth pairs, and the required 2+2 seed examples.
+func (d *Dataset) Validate() error {
+	if d.A == nil || d.B == nil {
+		return fmt.Errorf("dataset %q: missing table", d.Name)
+	}
+	if len(d.A.Schema) != len(d.B.Schema) {
+		return fmt.Errorf("dataset %q: schema width mismatch %d vs %d",
+			d.Name, len(d.A.Schema), len(d.B.Schema))
+	}
+	for i := range d.A.Schema {
+		if d.A.Schema[i].Name != d.B.Schema[i].Name {
+			return fmt.Errorf("dataset %q: attribute %d named %q in A but %q in B",
+				d.Name, i, d.A.Schema[i].Name, d.B.Schema[i].Name)
+		}
+	}
+	var pos, neg int
+	for _, s := range d.Seeds {
+		if err := d.checkPair(s.Pair); err != nil {
+			return fmt.Errorf("seed %v: %w", s.Pair, err)
+		}
+		if s.Match {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos < 2 || neg < 2 {
+		return fmt.Errorf("dataset %q: need at least 2 positive and 2 negative seeds, have %d/%d",
+			d.Name, pos, neg)
+	}
+	if d.Truth != nil {
+		for _, p := range d.Truth.Matches() {
+			if err := d.checkPair(p); err != nil {
+				return fmt.Errorf("ground truth %v: %w", p, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) checkPair(p Pair) error {
+	if int(p.A) < 0 || int(p.A) >= d.A.Len() {
+		return fmt.Errorf("row %d out of range for table A (len %d)", p.A, d.A.Len())
+	}
+	if int(p.B) < 0 || int(p.B) >= d.B.Len() {
+		return fmt.Errorf("row %d out of range for table B (len %d)", p.B, d.B.Len())
+	}
+	return nil
+}

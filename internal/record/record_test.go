@@ -1,0 +1,244 @@
+package record
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() Schema {
+	return Schema{
+		{Name: "name", Type: AttrString},
+		{Name: "price", Type: AttrNumeric},
+	}
+}
+
+func TestAttrTypeString(t *testing.T) {
+	cases := map[AttrType]string{
+		AttrString:      "string",
+		AttrText:        "text",
+		AttrNumeric:     "numeric",
+		AttrCategorical: "categorical",
+		AttrType(99):    "AttrType(99)",
+	}
+	for at, want := range cases {
+		if got := at.String(); got != want {
+			t.Errorf("AttrType(%d).String() = %q, want %q", int(at), got, want)
+		}
+	}
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := testSchema()
+	if got := s.Index("price"); got != 1 {
+		t.Errorf("Index(price) = %d, want 1", got)
+	}
+	if got := s.Index("missing"); got != -1 {
+		t.Errorf("Index(missing) = %d, want -1", got)
+	}
+}
+
+func TestSchemaNames(t *testing.T) {
+	got := testSchema().Names()
+	if len(got) != 2 || got[0] != "name" || got[1] != "price" {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestTableAppendPadsAndTruncates(t *testing.T) {
+	tb := NewTable("t", testSchema())
+	tb.Append(Tuple{"only-name"})
+	tb.Append(Tuple{"a", "1", "extra"})
+	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
+		t.Errorf("short row not padded: %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Errorf("long row not truncated: %v", tb.Rows[1])
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", tb.Len())
+	}
+}
+
+func TestTableValue(t *testing.T) {
+	tb := NewTable("t", testSchema())
+	tb.Append(Tuple{"widget", "3.50"})
+	if got := tb.Value(0, "name"); got != "widget" {
+		t.Errorf("Value(name) = %q", got)
+	}
+	if got := tb.Value(0, "nope"); got != "" {
+		t.Errorf("Value(nope) = %q, want empty", got)
+	}
+}
+
+func TestTableNumeric(t *testing.T) {
+	tb := NewTable("t", testSchema())
+	tb.Append(Tuple{"a", "1,234.5"})
+	tb.Append(Tuple{"b", ""})
+	tb.Append(Tuple{"c", "not-a-number"})
+	if v, ok := tb.Numeric(0, 1); !ok || v != 1234.5 {
+		t.Errorf("Numeric = %v, %v; want 1234.5, true", v, ok)
+	}
+	if _, ok := tb.Numeric(1, 1); ok {
+		t.Error("empty value parsed as numeric")
+	}
+	if _, ok := tb.Numeric(2, 1); ok {
+		t.Error("garbage parsed as numeric")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := NewTable("t", testSchema())
+	tb.Append(Tuple{"widget, deluxe", "3.50"})
+	tb.Append(Tuple{`with "quotes"`, ""})
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("t2", &buf, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tb.Len() {
+		t.Fatalf("round trip lost rows: %d vs %d", got.Len(), tb.Len())
+	}
+	for i := range tb.Rows {
+		for j := range tb.Rows[i] {
+			if got.Rows[i][j] != tb.Rows[i][j] {
+				t.Errorf("cell (%d,%d) = %q, want %q", i, j, got.Rows[i][j], tb.Rows[i][j])
+			}
+		}
+	}
+	if got.Schema[1].Type != AttrNumeric {
+		t.Error("schema hint not applied on read")
+	}
+}
+
+func TestReadCSVBadHeader(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader(""), nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestPairOrdering(t *testing.T) {
+	ps := []Pair{P(2, 1), P(1, 9), P(1, 2), P(2, 0)}
+	SortPairs(ps)
+	want := []Pair{P(1, 2), P(1, 9), P(2, 0), P(2, 1)}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", ps, want)
+		}
+	}
+}
+
+func TestPairLessIsStrictWeakOrder(t *testing.T) {
+	f := func(a1, b1, a2, b2 int16) bool {
+		p, q := P(int(a1), int(b1)), P(int(a2), int(b2))
+		if p == q {
+			return !p.Less(q) && !q.Less(p)
+		}
+		return p.Less(q) != q.Less(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairString(t *testing.T) {
+	if got := P(3, 4).String(); got != "(3,4)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPairSet(t *testing.T) {
+	s := NewPairSet(P(1, 2), P(3, 4))
+	if !s.Has(P(1, 2)) || s.Has(P(2, 1)) {
+		t.Error("membership wrong")
+	}
+	s.Add(P(0, 0))
+	sl := s.Slice()
+	if len(sl) != 3 || sl[0] != P(0, 0) {
+		t.Errorf("Slice() = %v", sl)
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	g := NewGroundTruth([]Pair{P(0, 0), P(1, 1)})
+	if g.NumMatches() != 2 {
+		t.Errorf("NumMatches = %d", g.NumMatches())
+	}
+	if !g.Match(P(0, 0)) || g.Match(P(0, 1)) {
+		t.Error("Match wrong")
+	}
+	if got := g.CountMatchesIn([]Pair{P(0, 0), P(5, 5), P(1, 1)}); got != 2 {
+		t.Errorf("CountMatchesIn = %d, want 2", got)
+	}
+}
+
+func buildDataset() *Dataset {
+	a := NewTable("a", testSchema())
+	b := NewTable("b", testSchema())
+	for i := 0; i < 4; i++ {
+		a.Append(Tuple{"x", "1"})
+		b.Append(Tuple{"x", "1"})
+	}
+	return &Dataset{
+		Name:  "d",
+		A:     a,
+		B:     b,
+		Truth: NewGroundTruth([]Pair{P(0, 0), P(1, 1)}),
+		Seeds: []Labeled{
+			{Pair: P(0, 0), Match: true}, {Pair: P(1, 1), Match: true},
+			{Pair: P(0, 1), Match: false}, {Pair: P(1, 0), Match: false},
+		},
+	}
+}
+
+func TestDatasetValidateOK(t *testing.T) {
+	if err := buildDataset().Validate(); err != nil {
+		t.Errorf("Validate() = %v", err)
+	}
+}
+
+func TestDatasetValidateSeedCount(t *testing.T) {
+	ds := buildDataset()
+	ds.Seeds = ds.Seeds[:3]
+	if err := ds.Validate(); err == nil {
+		t.Error("expected error for missing seeds")
+	}
+}
+
+func TestDatasetValidateOutOfRange(t *testing.T) {
+	ds := buildDataset()
+	ds.Seeds[0].Pair = P(99, 0)
+	if err := ds.Validate(); err == nil {
+		t.Error("expected error for out-of-range seed")
+	}
+}
+
+func TestDatasetValidateSchemaMismatch(t *testing.T) {
+	ds := buildDataset()
+	ds.B.Schema = Schema{{Name: "other", Type: AttrString}, {Name: "price", Type: AttrNumeric}}
+	if err := ds.Validate(); err == nil {
+		t.Error("expected error for schema name mismatch")
+	}
+}
+
+func TestDatasetValidateTruthRange(t *testing.T) {
+	ds := buildDataset()
+	ds.Truth = NewGroundTruth([]Pair{P(0, 99)})
+	if err := ds.Validate(); err == nil {
+		t.Error("expected error for out-of-range truth pair")
+	}
+}
+
+func TestDatasetStats(t *testing.T) {
+	ds := buildDataset()
+	if got := ds.CartesianSize(); got != 16 {
+		t.Errorf("CartesianSize = %d, want 16", got)
+	}
+	if got := ds.PositiveDensity(); got != 2.0/16 {
+		t.Errorf("PositiveDensity = %v, want 0.125", got)
+	}
+}

@@ -1,0 +1,270 @@
+// Package ruleeval implements §4.2: estimating the precision of candidate
+// rules with crowd-labeled samples, keeping only highly precise ones. The
+// same machinery evaluates blocking rules (§4), reduction rules (§6), and
+// the positive/negative rules of the Difficult Pairs' Locator (§7).
+//
+// A rule's precision over a sample S is the fraction of the examples it
+// covers whose true label agrees with the rule's conclusion. Precision is
+// estimated by sequential sampling with finite-population error margins,
+// and candidates are evaluated jointly so that one labeled example serves
+// every rule that covers it.
+package ruleeval
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/stats"
+	"github.com/corleone-em/corleone/internal/tree"
+)
+
+// Candidate is a rule together with its coverage over the evaluation
+// sample: the indices of covered examples (§4.2's cov(R, S)).
+type Candidate struct {
+	Rule     tree.Rule
+	Coverage []int
+}
+
+// Cover computes a rule's coverage over a feature matrix.
+func Cover(r tree.Rule, X [][]float64) []int {
+	var out []int
+	for i, v := range X {
+		if r.Matches(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MakeCandidates computes coverages for all rules over X, dropping rules
+// with empty coverage (nothing to evaluate, nothing to gain).
+func MakeCandidates(rules []tree.Rule, X [][]float64) []Candidate {
+	var out []Candidate
+	for _, r := range rules {
+		cov := Cover(r, X)
+		if len(cov) == 0 {
+			continue
+		}
+		out = append(out, Candidate{Rule: r, Coverage: cov})
+	}
+	return out
+}
+
+// SelectTopK implements §4.2 step 1: rank candidates by the upper bound on
+// precision |cov(R,S) − T| / |cov(R,S)|, where T is the set of examples
+// already labeled by the crowd in a way that contradicts the rule's
+// conclusion (labeled positive for a negative rule, and vice versa). Ties
+// break by larger coverage. Returns the top k (all, if fewer).
+func SelectTopK(cands []Candidate, contradicting map[int]bool, k int) []Candidate {
+	type scored struct {
+		c  Candidate
+		ub float64
+	}
+	ss := make([]scored, len(cands))
+	for i, c := range cands {
+		bad := 0
+		for _, idx := range c.Coverage {
+			if contradicting[idx] {
+				bad++
+			}
+		}
+		ss[i] = scored{c: c, ub: float64(len(c.Coverage)-bad) / float64(len(c.Coverage))}
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].ub != ss[j].ub {
+			return ss[i].ub > ss[j].ub
+		}
+		return len(ss[i].c.Coverage) > len(ss[j].c.Coverage)
+	})
+	if k > len(ss) {
+		k = len(ss)
+	}
+	out := make([]Candidate, k)
+	for i := 0; i < k; i++ {
+		out[i] = ss[i].c
+	}
+	return out
+}
+
+// Config carries the §4.2 evaluation parameters.
+type Config struct {
+	// Batch is b, the number of examples labeled per round (paper: 20).
+	Batch int
+	// PMin is the precision threshold for keeping a rule (paper: 0.95).
+	PMin float64
+	// EpsMax is the maximum tolerated error margin (paper: 0.05).
+	EpsMax float64
+	// Confidence is the interval confidence level (paper: 0.95).
+	Confidence float64
+	// Policy is the voting scheme for crowd labels; rule evaluation is
+	// sensitive to false positives, so the hybrid scheme is the default.
+	Policy crowd.Policy
+	// StopEarly, when non-nil, is polled between batches; returning true
+	// aborts evaluation, dropping any undecided rules (budget cap).
+	StopEarly func() bool
+}
+
+// Defaults returns the paper's parameters.
+func Defaults() Config {
+	return Config{Batch: 20, PMin: 0.95, EpsMax: 0.05, Confidence: 0.95, Policy: crowd.PolicyHybrid}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch <= 0 {
+		c.Batch = 20
+	}
+	if c.PMin <= 0 {
+		c.PMin = 0.95
+	}
+	if c.EpsMax <= 0 {
+		c.EpsMax = 0.05
+	}
+	if c.Confidence <= 0 {
+		c.Confidence = 0.95
+	}
+	return c
+}
+
+// Result is the outcome of evaluating one candidate.
+type Result struct {
+	Candidate Candidate
+	// Precision is the final estimate with its error margin.
+	Precision stats.Interval
+	// Kept reports whether the rule passed (P >= PMin with eps <= EpsMax).
+	Kept bool
+	// Sampled is how many covered examples were labeled for this rule
+	// (including reused ones).
+	Sampled int
+}
+
+// EvaluateJoint estimates the precision of every candidate, sampling from
+// the union of the active rules' coverages so labels are shared (§4.2's
+// joint evaluation). pairs maps sample indices to tuple pairs for the
+// crowd; runner provides (cached, voted) labels. The rng drives sampling
+// and must be seeded by the caller for determinism.
+func EvaluateJoint(rng *rand.Rand, runner *crowd.Runner, pairs []record.Pair,
+	cands []Candidate, cfg Config) []Result {
+
+	cfg = cfg.withDefaults()
+	results := make([]Result, len(cands))
+	type state struct {
+		n, correct int  // labeled examples in coverage; those agreeing with the rule
+		done       bool // decided (kept or dropped)
+	}
+	states := make([]state, len(cands))
+	labeledSet := map[int]bool{} // sample indices already labeled
+
+	// covers[i] = candidate indices covering sample index i.
+	covers := map[int][]int{}
+	for ci, c := range cands {
+		for _, idx := range c.Coverage {
+			covers[idx] = append(covers[idx], ci)
+		}
+	}
+
+	// absorb feeds a labeled example into every covering rule's tally.
+	absorb := func(idx int, match bool) {
+		labeledSet[idx] = true
+		for _, ci := range covers[idx] {
+			if states[ci].done {
+				continue
+			}
+			states[ci].n++
+			if match == cands[ci].Rule.Positive {
+				states[ci].correct++
+			}
+		}
+	}
+
+	// decide applies the §4.2 stopping rules to candidate ci; returns true
+	// if the rule's fate is settled.
+	decide := func(ci int) bool {
+		st := &states[ci]
+		m := len(cands[ci].Coverage)
+		iv := stats.EstimateProportion(st.correct, st.n, m, cfg.Confidence)
+		results[ci].Precision = iv
+		results[ci].Sampled = st.n
+		switch {
+		case iv.Point >= cfg.PMin && iv.Margin <= cfg.EpsMax:
+			results[ci].Kept = true
+			st.done = true
+		case iv.Point+iv.Margin < cfg.PMin:
+			st.done = true
+		case iv.Margin <= cfg.EpsMax && iv.Point < cfg.PMin:
+			st.done = true
+		case st.n >= m:
+			// Coverage exhausted: the estimate is exact (margin 0 via the
+			// finite-population correction); keep iff it clears PMin.
+			results[ci].Kept = iv.Point >= cfg.PMin
+			st.done = true
+		}
+		return st.done
+	}
+
+	for ci := range cands {
+		results[ci].Candidate = cands[ci]
+	}
+
+	for {
+		// Pool: unlabeled examples in the union of active coverages.
+		poolSet := map[int]bool{}
+		for ci, c := range cands {
+			if states[ci].done {
+				continue
+			}
+			for _, idx := range c.Coverage {
+				if !labeledSet[idx] {
+					poolSet[idx] = true
+				}
+			}
+		}
+		if len(poolSet) == 0 {
+			break
+		}
+		pool := make([]int, 0, len(poolSet))
+		for idx := range poolSet {
+			pool = append(pool, idx)
+		}
+		sort.Ints(pool) // deterministic base order before sampling
+		for _, j := range stats.SampleIndices(rng, len(pool), cfg.Batch) {
+			idx := pool[j]
+			match := runner.Label(pairs[idx], cfg.Policy)
+			absorb(idx, match)
+		}
+		active := 0
+		for ci := range cands {
+			if states[ci].done {
+				continue
+			}
+			if !decide(ci) {
+				active++
+			}
+		}
+		if active == 0 {
+			break
+		}
+		if cfg.StopEarly != nil && cfg.StopEarly() {
+			break
+		}
+	}
+	// Finalize estimates for any rule decided on the last pass.
+	for ci := range cands {
+		if results[ci].Sampled == 0 && states[ci].n > 0 {
+			decide(ci)
+		}
+	}
+	return results
+}
+
+// Kept filters the evaluation results down to the rules that passed.
+func Kept(results []Result) []tree.Rule {
+	var out []tree.Rule
+	for _, r := range results {
+		if r.Kept {
+			out = append(out, r.Candidate.Rule)
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package ruleeval
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/tree"
+)
+
+// fixture builds a sample of n pairs with vectors [x] where x < posCut
+// means a true match, a ground truth to drive an oracle crowd, and a
+// negative rule "x > thr -> No".
+type fixture struct {
+	pairs []record.Pair
+	X     [][]float64
+	truth *record.GroundTruth
+}
+
+func makeFixture(n int, matchEvery int) fixture {
+	var f fixture
+	var matches []record.Pair
+	for i := 0; i < n; i++ {
+		p := record.P(i, i)
+		f.pairs = append(f.pairs, p)
+		if matchEvery > 0 && i%matchEvery == 0 {
+			f.X = append(f.X, []float64{1})
+			matches = append(matches, p)
+		} else {
+			f.X = append(f.X, []float64{0})
+		}
+	}
+	f.truth = record.NewGroundTruth(matches)
+	return f
+}
+
+func negRule(thr float64) tree.Rule {
+	return tree.Rule{Preds: []tree.Predicate{{Feature: 0, Op: tree.LE, Threshold: thr}}}
+}
+
+func posRule(thr float64) tree.Rule {
+	return tree.Rule{
+		Preds:    []tree.Predicate{{Feature: 0, Op: tree.GT, Threshold: thr}},
+		Positive: true,
+	}
+}
+
+func TestCover(t *testing.T) {
+	f := makeFixture(10, 3)
+	cov := Cover(negRule(0.5), f.X)
+	for _, i := range cov {
+		if f.X[i][0] > 0.5 {
+			t.Errorf("index %d should not be covered", i)
+		}
+	}
+	if len(cov) != 6 { // non-matches among 0..9 are 1,2,4,5,7,8
+		t.Errorf("coverage size = %d, want 6", len(cov))
+	}
+}
+
+func TestMakeCandidatesDropsEmpty(t *testing.T) {
+	f := makeFixture(10, 3)
+	cands := MakeCandidates([]tree.Rule{negRule(0.5), negRule(-1)}, f.X)
+	if len(cands) != 1 {
+		t.Errorf("candidates = %d, want 1 (empty coverage dropped)", len(cands))
+	}
+}
+
+func TestSelectTopKRanking(t *testing.T) {
+	// Rule A: coverage 4, one contradicted -> ub 0.75.
+	// Rule B: coverage 2, none contradicted -> ub 1.0.
+	cands := []Candidate{
+		{Rule: negRule(1), Coverage: []int{0, 1, 2, 3}},
+		{Rule: negRule(2), Coverage: []int{4, 5}},
+	}
+	top := SelectTopK(cands, map[int]bool{0: true}, 2)
+	if len(top) != 2 {
+		t.Fatalf("topk = %d", len(top))
+	}
+	if len(top[0].Coverage) != 2 {
+		t.Error("uncontradicted rule should rank first")
+	}
+	// k larger than candidates returns all.
+	if got := SelectTopK(cands, nil, 10); len(got) != 2 {
+		t.Errorf("overlarge k = %d results", len(got))
+	}
+	// Tie on upper bound breaks by larger coverage.
+	tie := []Candidate{
+		{Rule: negRule(1), Coverage: []int{0}},
+		{Rule: negRule(2), Coverage: []int{1, 2}},
+	}
+	got := SelectTopK(tie, nil, 1)
+	if len(got[0].Coverage) != 2 {
+		t.Error("coverage tiebreak failed")
+	}
+}
+
+func TestEvaluateJointKeepsPreciseRule(t *testing.T) {
+	f := makeFixture(2000, 0) // no matches at all: the rule is perfect
+	f.truth = record.NewGroundTruth([]record.Pair{record.P(5000, 5000)})
+	runner := crowd.NewRunner(&crowd.Oracle{Truth: f.truth}, 0.01)
+	rng := rand.New(rand.NewSource(1))
+	cands := MakeCandidates([]tree.Rule{negRule(0.5)}, f.X)
+	res := EvaluateJoint(rng, runner, f.pairs, cands, Defaults())
+	if len(res) != 1 || !res[0].Kept {
+		t.Fatalf("perfect rule not kept: %+v", res)
+	}
+	if res[0].Precision.Point != 1 {
+		t.Errorf("precision = %v, want 1", res[0].Precision.Point)
+	}
+	if res[0].Sampled == 0 || res[0].Sampled > 100 {
+		t.Errorf("sampled = %d, want a small batch count", res[0].Sampled)
+	}
+}
+
+func TestEvaluateJointDropsImpreciseRule(t *testing.T) {
+	// Every other example in the coverage is a true match: precision 0.5.
+	f := makeFixture(2000, 2)
+	// The rule covers everything (threshold 2 > all values).
+	cands := MakeCandidates([]tree.Rule{negRule(2)}, f.X)
+	runner := crowd.NewRunner(&crowd.Oracle{Truth: f.truth}, 0.01)
+	rng := rand.New(rand.NewSource(2))
+	res := EvaluateJoint(rng, runner, f.pairs, cands, Defaults())
+	if res[0].Kept {
+		t.Error("half-precise rule must be dropped")
+	}
+	if res[0].Precision.Point > 0.8 {
+		t.Errorf("precision estimate %v too high", res[0].Precision.Point)
+	}
+}
+
+func TestEvaluateJointPositiveRule(t *testing.T) {
+	f := makeFixture(2000, 2)
+	// Positive rule: x > 0.5 -> Yes. Matches have x=1, so it is perfect.
+	cands := MakeCandidates([]tree.Rule{posRule(0.5)}, f.X)
+	runner := crowd.NewRunner(&crowd.Oracle{Truth: f.truth}, 0.01)
+	rng := rand.New(rand.NewSource(3))
+	res := EvaluateJoint(rng, runner, f.pairs, cands, Defaults())
+	if !res[0].Kept {
+		t.Error("perfect positive rule should be kept")
+	}
+}
+
+func TestEvaluateJointSharesLabels(t *testing.T) {
+	// Two rules with identical coverage: joint evaluation should label
+	// each sampled example once, feeding both rules.
+	f := makeFixture(3000, 0)
+	f.truth = record.NewGroundTruth([]record.Pair{record.P(9999, 9999)})
+	cands := MakeCandidates([]tree.Rule{negRule(0.5), negRule(0.6)}, f.X)
+	runner := crowd.NewRunner(&crowd.Oracle{Truth: f.truth}, 0.01)
+	rng := rand.New(rand.NewSource(4))
+	res := EvaluateJoint(rng, runner, f.pairs, cands, Defaults())
+	pairsLabeled := runner.Stats().Pairs
+	totalSampled := res[0].Sampled + res[1].Sampled
+	if pairsLabeled >= totalSampled {
+		t.Errorf("no label sharing: %d pairs labeled for %d rule-samples",
+			pairsLabeled, totalSampled)
+	}
+	for _, r := range res {
+		if !r.Kept {
+			t.Error("both perfect rules should be kept")
+		}
+	}
+}
+
+func TestEvaluateJointExhaustsSmallCoverage(t *testing.T) {
+	// Coverage smaller than one batch: evaluation labels it exhaustively
+	// and decides exactly.
+	f := makeFixture(10, 0)
+	f.truth = record.NewGroundTruth([]record.Pair{record.P(9999, 9999)})
+	cands := MakeCandidates([]tree.Rule{negRule(0.5)}, f.X)
+	runner := crowd.NewRunner(&crowd.Oracle{Truth: f.truth}, 0.01)
+	rng := rand.New(rand.NewSource(5))
+	res := EvaluateJoint(rng, runner, f.pairs, cands, Defaults())
+	if !res[0].Kept {
+		t.Error("perfect rule should be kept")
+	}
+	if res[0].Sampled != 10 {
+		t.Errorf("sampled = %d, want 10 (exhausted)", res[0].Sampled)
+	}
+	if res[0].Precision.Margin != 0 {
+		t.Errorf("exhausted margin = %v, want 0", res[0].Precision.Margin)
+	}
+}
+
+func TestEvaluateJointBorderlineDropCaseB(t *testing.T) {
+	// §4.2 case (b): margin small enough but P < Pmin -> drop.
+	f := makeFixture(5000, 20) // 5% positives in coverage -> precision ~0.95... borderline
+	cands := MakeCandidates([]tree.Rule{negRule(2)}, f.X)
+	cfg := Defaults()
+	cfg.PMin = 0.99 // force P < Pmin
+	runner := crowd.NewRunner(&crowd.Oracle{Truth: f.truth}, 0.01)
+	rng := rand.New(rand.NewSource(6))
+	res := EvaluateJoint(rng, runner, f.pairs, cands, cfg)
+	if res[0].Kept {
+		t.Error("rule below Pmin should be dropped")
+	}
+}
+
+func TestKept(t *testing.T) {
+	rs := []Result{
+		{Kept: true, Candidate: Candidate{Rule: negRule(1)}},
+		{Kept: false, Candidate: Candidate{Rule: negRule(2)}},
+	}
+	if got := Kept(rs); len(got) != 1 {
+		t.Errorf("Kept = %d rules, want 1", len(got))
+	}
+}

@@ -1,0 +1,72 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"unicode/utf8"
+)
+
+func FuzzLevenshteinMetricProperties(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "abc")
+	f.Add("same", "same")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 200 || len(b) > 200 {
+			return // keep the quadratic DP bounded
+		}
+		d := Levenshtein(a, b)
+		if d != Levenshtein(b, a) {
+			t.Fatal("not symmetric")
+		}
+		// Distance is over runes: invalid UTF-8 bytes all decode to
+		// U+FFFD, so identity of indiscernibles only holds for valid
+		// strings.
+		if utf8.ValidString(a) && utf8.ValidString(b) {
+			if (d == 0) != (a == b) {
+				t.Fatalf("identity of indiscernibles violated: d=%d for %q/%q", d, a, b)
+			}
+		}
+		la, lb := len([]rune(a)), len([]rune(b))
+		hi := la
+		if lb > hi {
+			hi = lb
+		}
+		lo := la - lb
+		if lo < 0 {
+			lo = -lo
+		}
+		if d < lo || d > hi {
+			t.Fatalf("d=%d outside [%d,%d]", d, lo, hi)
+		}
+	})
+}
+
+func FuzzStringMeasuresStayInRange(f *testing.F) {
+	f.Add("kingston hyperx", "kingston fury")
+	f.Add("", "")
+	f.Add("a", "")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 100 || len(b) > 100 {
+			return
+		}
+		for name, fn := range map[string]func(string, string) float64{
+			"EditSim":       EditSim,
+			"Jaro":          Jaro,
+			"JaroWinkler":   JaroWinkler,
+			"JaccardWords":  JaccardWords,
+			"JaccardQGrams": JaccardQGrams,
+			"OverlapWords":  OverlapWords,
+			"MongeElkan":    MongeElkan,
+			"NW":            NeedlemanWunsch,
+			"SW":            SmithWaterman,
+			"LCS":           LongestCommonSubstring,
+			"SoundexSim":    SoundexSim,
+			"CosineQGrams":  CosineQGrams,
+		} {
+			s := fn(a, b)
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				t.Fatalf("%s(%q,%q) = %v outside [0,1]", name, a, b, s)
+			}
+		}
+	})
+}

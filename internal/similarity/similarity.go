@@ -1,0 +1,254 @@
+// Package similarity implements the string and numeric similarity measures
+// of the paper's feature library (§4.1 step 3): edit distance, Jaccard,
+// Jaro, Jaro-Winkler, Monge-Elkan, overlap, TF/IDF cosine, exact match, and
+// numeric differences. All string measures return a similarity in [0, 1]
+// where 1 means identical.
+package similarity
+
+import (
+	"math"
+
+	"github.com/corleone-em/corleone/internal/strutil"
+)
+
+// Levenshtein returns the unit-cost edit distance between a and b, computed
+// over runes with the classic two-row dynamic program. Invalid UTF-8 bytes
+// decode to U+FFFD, so strings differing only in invalid bytes compare
+// equal — inputs are expected to be (normalized) valid UTF-8.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// EditSim converts Levenshtein distance to a similarity:
+// 1 - dist/max(len(a), len(b)). Two empty strings are identical (1).
+func EditSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// Jaro returns the Jaro similarity of a and b.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchedB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchedA[i] = true
+			matchedB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among the matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a common prefix of
+// up to 4 runes, with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	l := strutil.CommonPrefixLen(a, b, 4)
+	return j + float64(l)*0.1*(1-j)
+}
+
+// JaccardWords is the Jaccard coefficient over word-token sets.
+func JaccardWords(a, b string) float64 {
+	return jaccard(strutil.TokenSet(strutil.Words(a)), strutil.TokenSet(strutil.Words(b)))
+}
+
+// JaccardQGrams is the Jaccard coefficient over padded 3-gram sets.
+func JaccardQGrams(a, b string) float64 {
+	return jaccard(strutil.TokenSet(strutil.QGrams(a, 3)), strutil.TokenSet(strutil.QGrams(b, 3)))
+}
+
+func jaccard(sa, sb map[string]struct{}) float64 {
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	small, large := sa, sb
+	if len(sb) < len(sa) {
+		small, large = sb, sa
+	}
+	for t := range small {
+		if _, ok := large[t]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(sa)+len(sb)-inter)
+}
+
+// OverlapWords is the overlap coefficient |A∩B| / min(|A|, |B|) over word
+// tokens; it rewards containment (e.g. "Kingston HyperX" vs the full title).
+func OverlapWords(a, b string) float64 {
+	sa := strutil.TokenSet(strutil.Words(a))
+	sb := strutil.TokenSet(strutil.Words(b))
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	small, large := sa, sb
+	if len(sb) < len(sa) {
+		small, large = sb, sa
+	}
+	for t := range small {
+		if _, ok := large[t]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(small))
+}
+
+// MongeElkan computes the Monge-Elkan similarity: for each token of a, the
+// best Jaro-Winkler match among tokens of b, averaged. It is asymmetric; we
+// symmetrize by taking the mean of both directions.
+func MongeElkan(a, b string) float64 {
+	ta, tb := strutil.Words(a), strutil.Words(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	return (mongeElkanDir(ta, tb) + mongeElkanDir(tb, ta)) / 2
+}
+
+func mongeElkanDir(ta, tb []string) float64 {
+	sum := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := JaroWinkler(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// ExactMatch returns 1 if the normalized strings are equal and non-empty,
+// 0 otherwise. Two empty (missing) values are treated as unknown (0.5) so
+// that missing IDs neither confirm nor deny a match.
+func ExactMatch(a, b string) float64 {
+	na, nb := strutil.Normalize(a), strutil.Normalize(b)
+	if na == "" && nb == "" {
+		return 0.5
+	}
+	if na == nb {
+		return 1
+	}
+	return 0
+}
+
+// RelativeDiff returns 1 - |a-b| / max(|a|, |b|), a scale-free numeric
+// similarity in [0,1]. Equal values (including 0, 0) give 1.
+func RelativeDiff(a, b float64) float64 {
+	if a == b {
+		return 1
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 1
+	}
+	s := 1 - math.Abs(a-b)/m
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// AbsDiff returns the absolute difference |a-b| (not normalized; feature
+// layer exposes it for threshold rules like "prices differ by $20").
+func AbsDiff(a, b float64) float64 { return math.Abs(a - b) }

@@ -1,0 +1,89 @@
+package similarity
+
+import (
+	"math"
+	"sort"
+
+	"github.com/corleone-em/corleone/internal/strutil"
+)
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Corpus holds inverse document frequencies learned from a collection of
+// documents (attribute values across both tables). TF/IDF cosine similarity
+// weights rare tokens (model numbers, distinctive words) more heavily than
+// ubiquitous ones ("the", "kit").
+type Corpus struct {
+	idf  map[string]float64
+	docs int
+}
+
+// NewCorpus builds IDF statistics from the given documents. Tokens absent
+// from the corpus at query time receive the maximum IDF (they are rarer than
+// anything seen).
+func NewCorpus(docs []string) *Corpus {
+	df := make(map[string]int)
+	for _, d := range docs {
+		for t := range strutil.TokenSet(strutil.Words(d)) {
+			df[t]++
+		}
+	}
+	c := &Corpus{idf: make(map[string]float64, len(df)), docs: len(docs)}
+	for t, n := range df {
+		c.idf[t] = math.Log(float64(c.docs+1) / float64(n+1))
+	}
+	return c
+}
+
+// IDF returns the inverse document frequency of token t.
+func (c *Corpus) IDF(t string) float64 {
+	if v, ok := c.idf[t]; ok {
+		return v
+	}
+	return math.Log(float64(c.docs + 1))
+}
+
+// Cosine returns the TF/IDF-weighted cosine similarity of a and b in [0,1].
+// Two empty strings are treated as unknown (0.5), one empty as 0.
+func (c *Corpus) Cosine(a, b string) float64 {
+	ta := strutil.TokenCounts(strutil.Words(a))
+	tb := strutil.TokenCounts(strutil.Words(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 0.5
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	// Iterate in sorted token order: map order would vary the floating-
+	// point summation order and make similarity scores (and therefore
+	// whole pipeline runs) non-reproducible.
+	var dot, na, nb float64
+	for _, t := range sortedKeys(ta) {
+		w := c.IDF(t)
+		wa := float64(ta[t]) * w
+		na += wa * wa
+		if fb, ok := tb[t]; ok {
+			dot += wa * float64(fb) * w
+		}
+	}
+	for _, t := range sortedKeys(tb) {
+		wb := float64(tb[t]) * c.IDF(t)
+		nb += wb * wb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	s := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if s > 1 {
+		s = 1 // guard against fp drift
+	}
+	return s
+}

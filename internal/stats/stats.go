@@ -1,0 +1,280 @@
+// Package stats implements the sampling statistics Corleone leans on:
+// normal quantiles, proportion confidence intervals with finite-population
+// correction (the error-margin formulas of §4.2 and Eqs. 2–3 in §6.1), the
+// sample-size solver behind the Estimator's cost model, and deterministic
+// sampling utilities (uniform and weighted, without replacement).
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NormalQuantile returns the p-quantile of the standard normal distribution
+// (the Z_p of the paper). It uses the Acklam rational approximation, whose
+// absolute error is below 1.15e-9 over (0,1) — far tighter than anything the
+// sampling loops can resolve.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the central and tail regions.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// ZForConfidence returns Z_{1-δ/2} for a two-sided interval at confidence
+// level conf (e.g. conf = 0.95 gives ≈ 1.96). The paper writes the level as
+// δ = 0.95, i.e. conf here matches the paper's δ.
+func ZForConfidence(conf float64) float64 {
+	if conf <= 0 {
+		return 0
+	}
+	if conf >= 1 {
+		return math.Inf(1)
+	}
+	alpha := 1 - conf
+	return NormalQuantile(1 - alpha/2)
+}
+
+// ProportionMargin returns the error margin ε of §4.2 for an estimated
+// proportion p from a sample of size n drawn without replacement from a
+// population of size population:
+//
+//	ε = Z * sqrt( p(1-p)/n * (N-n)/(N-1) )
+//
+// The second factor is the finite-population correction; it vanishes when
+// the sample exhausts the population (n = N) and approaches 1 when N ≫ n.
+// A population of 0 or negative means "effectively infinite" (no
+// correction). n <= 0 yields +Inf (no information).
+func ProportionMargin(p float64, n, population int, conf float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	z := ZForConfidence(conf)
+	v := p * (1 - p) / float64(n)
+	if population > 1 {
+		if n >= population {
+			return 0
+		}
+		v *= float64(population-n) / float64(population-1)
+	}
+	return z * math.Sqrt(v)
+}
+
+// SampleSizeForMargin returns the smallest sample size n such that a
+// proportion estimated at p from a population of the given size has
+// ProportionMargin <= eps. It inverts the margin formula:
+//
+//	n >= N*z²pq / (eps²(N-1) + z²pq)    (finite N)
+//	n >= z²pq / eps²                    (infinite N)
+//
+// A conservative caller that does not know p should pass p = 0.5, which
+// maximizes p(1-p). Returns at least 1, and never more than the population
+// when the population is finite.
+func SampleSizeForMargin(p, eps float64, population int, conf float64) int {
+	if eps <= 0 {
+		if population > 0 {
+			return population
+		}
+		return math.MaxInt32
+	}
+	z := ZForConfidence(conf)
+	pq := p * (1 - p)
+	if pq == 0 {
+		return 1
+	}
+	var n float64
+	if population > 1 {
+		N := float64(population)
+		n = N * z * z * pq / (eps*eps*(N-1) + z*z*pq)
+		if n > N {
+			n = N
+		}
+	} else {
+		n = z * z * pq / (eps * eps)
+	}
+	out := int(math.Ceil(n))
+	if out < 1 {
+		out = 1
+	}
+	if population > 0 && out > population {
+		out = population
+	}
+	return out
+}
+
+// Interval is a symmetric confidence interval around a point estimate.
+type Interval struct {
+	Point  float64
+	Margin float64
+}
+
+// Lo returns the lower bound, clamped to 0 for proportions.
+func (iv Interval) Lo() float64 { return math.Max(0, iv.Point-iv.Margin) }
+
+// Hi returns the upper bound, clamped to 1 for proportions.
+func (iv Interval) Hi() float64 { return math.Min(1, iv.Point+iv.Margin) }
+
+// Contains reports whether x lies within the interval.
+func (iv Interval) Contains(x float64) bool {
+	return x >= iv.Point-iv.Margin && x <= iv.Point+iv.Margin
+}
+
+// EstimateProportion builds the §4.2 interval for k successes out of n
+// sampled from a finite population.
+func EstimateProportion(k, n, population int, conf float64) Interval {
+	if n == 0 {
+		return Interval{Point: 0, Margin: math.Inf(1)}
+	}
+	p := float64(k) / float64(n)
+	return Interval{Point: p, Margin: ProportionMargin(p, n, population, conf)}
+}
+
+// SampleIndices returns k distinct indices drawn uniformly from [0, n) using
+// a partial Fisher-Yates shuffle. If k >= n it returns all indices 0..n-1 in
+// shuffled order. The result order is random; callers needing determinism
+// beyond the seed should sort.
+func SampleIndices(rng *rand.Rand, n, k int) []int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// WeightedSampleWithoutReplacement draws k distinct indices from [0,
+// len(weights)) with probability proportional to the weights, using the
+// Efraimidis-Spirakis exponential-key method. Non-positive weights are
+// treated as a tiny epsilon so zero-entropy examples can still be drawn when
+// the pool is smaller than k (§5.2 needs q examples even if fewer than q
+// have positive entropy).
+func WeightedSampleWithoutReplacement(rng *rand.Rand, weights []float64, k int) []int {
+	n := len(weights)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	type keyed struct {
+		key float64
+		idx int
+	}
+	keys := make([]keyed, n)
+	for i, w := range weights {
+		if w <= 0 {
+			w = 1e-12
+		}
+		// key = U^(1/w); larger keys win. Use log for numeric stability:
+		// log key = log(U)/w.
+		keys[i] = keyed{key: math.Log(rng.Float64()) / w, idx: i}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key > keys[j].key })
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = keys[i].idx
+	}
+	return out
+}
+
+// SmoothWindow applies the centered moving average of §5.3 with window w
+// (odd) to xs and returns the smoothed series. Near the ends the window is
+// truncated to the available values, matching the paper's "replace each
+// value with the average of the w values around it" on a finite series.
+func SmoothWindow(xs []float64, w int) []float64 {
+	if w < 1 {
+		w = 1
+	}
+	if w%2 == 0 {
+		w++
+	}
+	half := w / 2
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += xs[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs (-Inf for an empty slice).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// F1 computes the harmonic mean of precision and recall (0 if both are 0).
+func F1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,136 @@
+package strutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"  Hello   World  ", "hello world"},
+		{"ALL CAPS", "all caps"},
+		{"", ""},
+		{"\t\n ", ""},
+		{"a", "a"},
+		{"Ünïcode  Töo", "ünïcode töo"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		n := Normalize(s)
+		return Normalize(n) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"HyperX 4GB Kit (2 x 2GB)", []string{"hyperx", "4gb", "kit", "2", "x", "2gb"}},
+		{"", nil},
+		{"---", nil},
+		{"one", []string{"one"}},
+		{"a-b_c", []string{"a", "b", "c"}},
+	}
+	for _, c := range cases {
+		if got := Words(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Words(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	got := QGrams("ab", 3)
+	want := []string{"##a", "#ab", "ab#", "b##"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("QGrams(ab,3) = %v, want %v", got, want)
+	}
+	if QGrams("", 3) != nil {
+		t.Error("QGrams of empty string should be nil")
+	}
+	if QGrams("abc", 0) != nil {
+		t.Error("QGrams with q=0 should be nil")
+	}
+	if got := QGrams("abc", 1); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("QGrams(abc,1) = %v", got)
+	}
+}
+
+func TestQGramsCount(t *testing.T) {
+	// A string of n runes has n+q-1 padded q-grams.
+	f := func(s string) bool {
+		s = strings.Map(func(r rune) rune {
+			if r == '#' {
+				return 'x'
+			}
+			return r
+		}, s)
+		if s == "" {
+			return true
+		}
+		n := len([]rune(s))
+		return len(QGrams(s, 3)) == n+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenSetAndCounts(t *testing.T) {
+	toks := []string{"a", "b", "a"}
+	set := TokenSet(toks)
+	if len(set) != 2 {
+		t.Errorf("TokenSet size = %d, want 2", len(set))
+	}
+	counts := TokenCounts(toks)
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Errorf("TokenCounts = %v", counts)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		max  int
+		want int
+	}{
+		{"abcdef", "abcxyz", 4, 3},
+		{"same", "same", 4, 4},
+		{"same", "same", -1, 4},
+		{"longerprefix", "longerprefiy", 4, 4},
+		{"", "abc", 4, 0},
+		{"x", "y", 4, 0},
+	}
+	for _, c := range cases {
+		if got := CommonPrefixLen(c.a, c.b, c.max); got != c.want {
+			t.Errorf("CommonPrefixLen(%q,%q,%d) = %d, want %d", c.a, c.b, c.max, got, c.want)
+		}
+	}
+}
+
+func TestIsNumericString(t *testing.T) {
+	yes := []string{"12", "-3.5", "+7", "$19.99", "1,234", " 42 ", "0.5"}
+	no := []string{"", "abc", "1.2.3", "$", "-", "12a", "..", "1-2"}
+	for _, s := range yes {
+		if !IsNumericString(s) {
+			t.Errorf("IsNumericString(%q) = false, want true", s)
+		}
+	}
+	for _, s := range no {
+		if IsNumericString(s) {
+			t.Errorf("IsNumericString(%q) = true, want false", s)
+		}
+	}
+}
