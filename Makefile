@@ -1,0 +1,19 @@
+# Corleone build targets. `make verify` is the pre-merge bar (ROADMAP.md);
+# tier-1 is the build+test subset.
+
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# vet + build + full suite under the race detector.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -bench . -benchmem ./...

@@ -1,0 +1,82 @@
+// Command runsvc runs the durable run-orchestration service: an HTTP
+// control surface over a pool of concurrent Corleone jobs, each journaled
+// to disk so a killed process resumes without re-paying the crowd.
+//
+// Usage:
+//
+//	runsvc -addr :8090 -workers 4 -journal ./journal
+//
+// API:
+//
+//	POST /jobs                submit a job (JSON body: profile, scale,
+//	                          error_rate, seed, budget, ...)
+//	GET  /jobs                list job statuses
+//	GET  /jobs/{id}           one job's status
+//	POST /jobs/{id}/cancel    request cancellation
+//	POST /jobs/{id}/resume    resume a journaled job
+//	GET  /jobs/{id}/events    NDJSON progress stream (history, then live)
+//	GET  /journal             list journaled job ids
+//
+// On startup the service lists any journaled jobs left unfinished by a
+// previous process (no terminal status.json) so the operator can POST
+// /jobs/{id}/resume to pick them up.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/corleone-em/corleone/internal/runsvc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	workers := flag.Int("workers", 4, "concurrent job executors")
+	journal := flag.String("journal", "./journal", "journal root directory (empty = in-memory only)")
+	flag.Parse()
+
+	m, err := runsvc.NewManager(runsvc.Options{
+		Workers:    *workers,
+		JournalDir: *journal,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runsvc:", err)
+		os.Exit(1)
+	}
+	defer m.Close()
+
+	for _, id := range unfinished(m.Store()) {
+		fmt.Fprintf(os.Stderr, "runsvc: job %s has an unfinished journal; POST /jobs/%s/resume to continue it\n", id, id)
+	}
+
+	fmt.Fprintf(os.Stderr, "runsvc: %d executors, journal at %s, listening on %s\n",
+		*workers, *journal, *addr)
+	if err := http.ListenAndServe(*addr, runsvc.Handler(m)); err != nil {
+		fmt.Fprintln(os.Stderr, "runsvc:", err)
+		os.Exit(1)
+	}
+}
+
+// unfinished lists journaled jobs a previous process left without a clean
+// finish — no terminal status, or one that says crashed or canceled. These
+// are the resume candidates announced at startup.
+func unfinished(store *runsvc.Store) []string {
+	if store == nil {
+		return nil
+	}
+	var out []string
+	for _, id := range store.List() {
+		jl, err := store.Open(id)
+		if err != nil {
+			continue
+		}
+		rec, finished := jl.ReadStatus()
+		jl.Close()
+		if !finished || rec.State == runsvc.StateCrashed || rec.State == runsvc.StateCanceled {
+			out = append(out, id)
+		}
+	}
+	return out
+}

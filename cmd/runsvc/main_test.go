@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/runsvc"
+)
+
+func TestUnfinished(t *testing.T) {
+	if got := unfinished(nil); got != nil {
+		t.Fatalf("unfinished(nil) = %v", got)
+	}
+
+	store, err := runsvc.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+
+	// done: clean finish, not a resume candidate.
+	// dead: no status at all (process killed before writing one).
+	// crashed: terminal status that still warrants a resume.
+	for id, rec := range map[string]*runsvc.StatusRecord{
+		"done":    {State: runsvc.StateDone},
+		"dead":    nil,
+		"crashed": {State: runsvc.StateCrashed},
+	} {
+		jl, err := store.Open(id)
+		if err != nil {
+			t.Fatalf("open %s: %v", id, err)
+		}
+		if rec != nil {
+			if err := jl.WriteStatus(*rec); err != nil {
+				t.Fatalf("status %s: %v", id, err)
+			}
+		}
+		jl.Close()
+	}
+
+	got := unfinished(store)
+	if len(got) != 2 || got[0] != "crashed" || got[1] != "dead" {
+		t.Fatalf("unfinished = %v, want [crashed dead]", got)
+	}
+}

@@ -111,20 +111,52 @@ type entry struct {
 
 // Runner engages the crowd: it owns the label cache, voting, HIT packing,
 // and accounting. Not safe for concurrent use; Corleone's control flow is
-// sequential between crowd calls, as the paper's is.
+// sequential between crowd calls, as the paper's is. Concurrent pipelines
+// give each run its own Runner — runs share nothing.
 type Runner struct {
 	crowd Crowd
 	price float64
 	cache map[record.Pair]*entry
 	acct  Accounting
+
+	// dirty tracks cache entries mutated since the last AppendLabels, so a
+	// journal can flush incrementally instead of rewriting the whole cache.
+	dirty map[record.Pair]struct{}
+	// sinceFlush counts pairs settled outside training batches since the
+	// last flush; once it reaches HITSize the runner treats it as a batch
+	// boundary and fires AfterBatch.
+	sinceFlush int
+	// replay is the queue of recorded training batches to serve instead of
+	// live packing (see QueueReplayBatches).
+	replay [][]record.Pair
+
+	// AfterBatch, when non-nil, is called at crowd batch boundaries — after
+	// each training batch, after each LabelAll, and after every HITSize
+	// labels settled by individual Label calls. A journal flushes settled
+	// labels here so a killed process re-pays at most one batch.
+	AfterBatch func()
+	// OnBatch, when non-nil, is called with each live training batch right
+	// after AfterBatch, in the exact composition LabelTrainingBatch
+	// returned. A journal records the batch so a resumed run can replay the
+	// identical packing decisions (batch packing depends on cache state,
+	// which differs on resume — see QueueReplayBatches).
+	OnBatch func(batch []Labeled)
 }
+
+// Labeled aliases record.Labeled for hook signatures.
+type Labeled = record.Labeled
 
 // HITSize is the number of questions per HIT (§8.1).
 const HITSize = 10
 
 // NewRunner wraps a crowd with the given per-question price.
 func NewRunner(c Crowd, pricePerQuestion float64) *Runner {
-	return &Runner{crowd: c, price: pricePerQuestion, cache: make(map[record.Pair]*entry)}
+	return &Runner{
+		crowd: c,
+		price: pricePerQuestion,
+		cache: make(map[record.Pair]*entry),
+		dirty: make(map[record.Pair]struct{}),
+	}
 }
 
 // Stats returns a copy of the accounting so far.
@@ -136,6 +168,22 @@ func (r *Runner) Stats() Accounting { return r.acct }
 func (r *Runner) SeedLabels(seeds []record.Labeled) {
 	for _, s := range seeds {
 		r.cache[s.Pair] = &entry{label: s.Match, settled: PolicyStrong, hasSeed: true}
+		r.markDirty(s.Pair)
+	}
+}
+
+func (r *Runner) markDirty(p record.Pair) {
+	if r.dirty == nil {
+		r.dirty = make(map[record.Pair]struct{})
+	}
+	r.dirty[p] = struct{}{}
+}
+
+// batchBoundary fires the AfterBatch hook and resets the settle counter.
+func (r *Runner) batchBoundary() {
+	r.sinceFlush = 0
+	if r.AfterBatch != nil {
+		r.AfterBatch()
 	}
 }
 
@@ -225,6 +273,7 @@ func (r *Runner) Label(p record.Pair, policy Policy) bool {
 	if e.hasSeed || r.satisfies(e, policy) {
 		return e.label
 	}
+	r.markDirty(p)
 
 	// Phase 1: 2+1. Reuse cached answers; top up to two, then break ties.
 	for len(e.answers) < 2 {
@@ -247,6 +296,13 @@ func (r *Runner) Label(p record.Pair, policy Policy) bool {
 		e.settled = Policy21
 	}
 	e.label = lbl
+	// Individual Label calls (rule evaluation, estimation sampling) have no
+	// explicit batch structure; treat every HITSize settles as a boundary so
+	// journals flush at the same granularity as posted HITs.
+	r.sinceFlush++
+	if r.sinceFlush >= HITSize {
+		r.batchBoundary()
+	}
 	return lbl
 }
 
@@ -257,6 +313,9 @@ func (r *Runner) LabelAll(pairs []record.Pair, policy Policy) []record.Labeled {
 	out := make([]record.Labeled, len(pairs))
 	for i, p := range pairs {
 		out[i] = record.Labeled{Pair: p, Match: r.Label(p, policy)}
+	}
+	if len(pairs) > 0 {
+		r.batchBoundary()
 	}
 	return out
 }
@@ -271,7 +330,22 @@ func (r *Runner) LabelAll(pairs []record.Pair, policy Policy) []record.Labeled {
 //   - k == 0 and len(pairs) == 20: the normal case — two full HITs.
 //
 // The returned batch is what the matcher trains on this iteration.
+//
+// When a replay queue is loaded (QueueReplayBatches), the recorded batch
+// composition is served instead: packing depends on which pairs are cached,
+// and a resumed run's cache holds labels the original run had not yet paid
+// for at the same point, so live packing would diverge from the journaled
+// trajectory.
 func (r *Runner) LabelTrainingBatch(pairs []record.Pair, policy Policy) []record.Labeled {
+	if len(r.replay) > 0 {
+		rec := r.replay[0]
+		r.replay = r.replay[1:]
+		out := make([]record.Labeled, len(rec))
+		for i, p := range rec {
+			out[i] = record.Labeled{Pair: p, Match: r.Label(p, policy)}
+		}
+		return out
+	}
 	var cached []record.Labeled
 	var fresh []record.Pair
 	for _, p := range pairs {
@@ -282,6 +356,7 @@ func (r *Runner) LabelTrainingBatch(pairs []record.Pair, policy Policy) []record
 		}
 	}
 	if len(cached) > HITSize || len(fresh) == 0 {
+		r.finishBatch(cached)
 		return cached
 	}
 	// Pack complete HITs out of the uncached examples. With the nominal
@@ -295,5 +370,28 @@ func (r *Runner) LabelTrainingBatch(pairs []record.Pair, policy Policy) []record
 		out = append(out, record.Labeled{Pair: fresh[i], Match: r.Label(fresh[i], policy)})
 	}
 	r.acct.HITs += (want + HITSize - 1) / HITSize
+	r.finishBatch(out)
 	return out
 }
+
+// finishBatch runs the batch-boundary hooks for a live training batch:
+// AfterBatch first (journals flush settled labels), then OnBatch with the
+// batch composition (journals record the packing for exact replay).
+func (r *Runner) finishBatch(out []record.Labeled) {
+	r.batchBoundary()
+	if r.OnBatch != nil {
+		r.OnBatch(out)
+	}
+}
+
+// QueueReplayBatches loads recorded training-batch compositions (oldest
+// first) to be served by the next LabelTrainingBatch calls in order. Used on
+// resume together with LoadLabelLog: labels make replayed questions free,
+// the batch log makes replayed packing exact, so a resumed run retraces the
+// journaled trajectory deterministically before going live.
+func (r *Runner) QueueReplayBatches(batches [][]record.Pair) {
+	r.replay = append(r.replay, batches...)
+}
+
+// ReplayPending reports how many recorded batches have not been served yet.
+func (r *Runner) ReplayPending() int { return len(r.replay) }

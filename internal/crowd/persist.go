@@ -40,6 +40,78 @@ func (r *Runner) SaveLabels(w io.Writer) error {
 	return enc.Encode(out)
 }
 
+// AppendLabels writes every cache entry mutated since the last call as one
+// JSON object per line — the incremental form of SaveLabels for append-only
+// journals. Unsettled in-flight entries (answers solicited but the policy's
+// stopping rule not yet met) are written too, so a resumed run tops up their
+// votes instead of re-paying from scratch. Entries are written in pair order
+// for determinism; the dirty set is cleared only for entries successfully
+// encoded. Returns the number of entries written.
+func (r *Runner) AppendLabels(w io.Writer) (int, error) {
+	r.sinceFlush = 0
+	if len(r.dirty) == 0 {
+		return 0, nil
+	}
+	pairs := make([]record.Pair, 0, len(r.dirty))
+	for p := range r.dirty {
+		pairs = append(pairs, p)
+	}
+	record.SortPairs(pairs)
+	enc := json.NewEncoder(w)
+	n := 0
+	for _, p := range pairs {
+		e := r.cache[p]
+		if err := enc.Encode(savedEntry{
+			A:       p.A,
+			B:       p.B,
+			Answers: e.answers,
+			Label:   e.label,
+			Settled: int(e.settled),
+			Seed:    e.hasSeed,
+		}); err != nil {
+			return n, fmt.Errorf("crowd: append labels: %w", err)
+		}
+		delete(r.dirty, p)
+		n++
+	}
+	return n, nil
+}
+
+// LoadLabelLog replays a label journal written by AppendLabels: one JSON
+// entry per line, later lines superseding earlier ones for the same pair
+// (an entry is re-appended whenever it gains answers or settles harder).
+// Loaded entries do not count as dirty — they are already durable. Returns
+// the number of log lines applied.
+func (r *Runner) LoadLabelLog(rd io.Reader) (int, error) {
+	dec := json.NewDecoder(rd)
+	n := 0
+	for dec.More() {
+		var e savedEntry
+		if err := dec.Decode(&e); err != nil {
+			return n, fmt.Errorf("crowd: load label log: %w", err)
+		}
+		if e.Settled < 0 || e.Settled > int(PolicyHybrid) {
+			return n, fmt.Errorf("crowd: log entry %d:%d has invalid vote state %d",
+				e.A, e.B, e.Settled)
+		}
+		p := record.Pair{A: e.A, B: e.B}
+		if _, exists := r.cache[p]; !exists && !e.Seed {
+			// Journaled crowd labels were paid for in an earlier session;
+			// they count as labeled pairs for reporting but add no new cost.
+			// Seeds are excluded: a live run never counts them either.
+			r.acct.Pairs++
+		}
+		r.cache[p] = &entry{
+			answers: e.Answers,
+			label:   e.Label,
+			settled: Policy(e.Settled),
+			hasSeed: e.Seed,
+		}
+		n++
+	}
+	return n, nil
+}
+
 // LoadLabels merges previously saved labels into the cache. Existing
 // entries are kept (the live cache may have more answers than the file).
 // Returns the number of entries loaded.

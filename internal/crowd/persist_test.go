@@ -67,6 +67,98 @@ func TestLoadLabelsKeepsExisting(t *testing.T) {
 	}
 }
 
+// TestAppendLabelsRoundTripInFlight covers the incremental journal path
+// with entries in every vote state, including unsettled in-flight votes —
+// answers solicited but the stopping rule not yet met — which SaveLabels'
+// settled-only snapshot never carries.
+func TestAppendLabelsRoundTripInFlight(t *testing.T) {
+	truth := truth2()
+	r1 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	r1.SeedLabels([]record.Labeled{{Pair: record.P(9, 9), Match: true}})
+	r1.Label(record.P(0, 0), PolicyHybrid) // positive, strong-settled
+	r1.Label(record.P(0, 1), Policy21)     // negative, 2+1-settled
+	// An in-flight entry: one vote collected, crash before the second.
+	r1.cache[record.P(1, 2)] = &entry{answers: []bool{false}}
+	r1.markDirty(record.P(1, 2))
+
+	var buf bytes.Buffer
+	n, err := r1.AppendLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("appended %d entries, want 4", n)
+	}
+	// A second append with nothing new is empty — the dirty set cleared.
+	var buf2 bytes.Buffer
+	if n, err := r1.AppendLabels(&buf2); err != nil || n != 0 {
+		t.Fatalf("re-append wrote %d entries (err %v), want 0", n, err)
+	}
+
+	r2 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	if n, err := r2.LoadLabelLog(bytes.NewReader(buf.Bytes())); err != nil || n != 4 {
+		t.Fatalf("loaded %d entries (err %v), want 4", n, err)
+	}
+	// Settled entries serve for free.
+	if lbl := r2.Label(record.P(0, 0), PolicyHybrid); !lbl {
+		t.Error("restored positive label lost")
+	}
+	if lbl := r2.Label(record.P(9, 9), PolicyStrong); !lbl {
+		t.Error("restored seed label lost")
+	}
+	if st := r2.Stats(); st.Answers != 0 || st.Cost != 0 {
+		t.Errorf("restored settled labels cost money: %+v", st)
+	}
+	// The in-flight entry must not satisfy any policy yet...
+	if _, ok := r2.Cached(record.P(1, 2), Policy21); ok {
+		t.Error("in-flight entry served as settled")
+	}
+	// ...and settling it tops up from the surviving vote instead of
+	// starting over: one more answer reaches the two 2+1 needs.
+	r2.Label(record.P(1, 2), Policy21)
+	if got := r2.Stats().Answers; got != 1 {
+		t.Errorf("topping up an in-flight 1-vote entry took %d answers, want 1", got)
+	}
+}
+
+// TestAppendLabelsSupersede verifies append-only update semantics: when an
+// entry gains answers and is re-appended, replaying the log keeps the
+// latest version.
+func TestAppendLabelsSupersede(t *testing.T) {
+	truth := truth2()
+	r1 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	var log bytes.Buffer
+	r1.Label(record.P(0, 1), Policy21) // negative at 2+1
+	if _, err := r1.AppendLabels(&log); err != nil {
+		t.Fatal(err)
+	}
+	r1.Label(record.P(0, 1), PolicyStrong) // upgraded: more answers
+	if _, err := r1.AppendLabels(&log); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	if _, err := r2.LoadLabelLog(bytes.NewReader(log.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r2.Cached(record.P(0, 1), PolicyStrong); !ok {
+		t.Error("superseding log line lost: strong settle not restored")
+	}
+	if r2.Stats().Pairs != 1 {
+		t.Errorf("two log lines for one pair counted as %d pairs", r2.Stats().Pairs)
+	}
+}
+
+func TestLoadLabelLogRejectsGarbage(t *testing.T) {
+	r := NewRunner(&Oracle{Truth: truth2()}, 0.01)
+	if _, err := r.LoadLabelLog(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := r.LoadLabelLog(strings.NewReader(`{"a":0,"b":0,"settled":99}`)); err == nil {
+		t.Error("invalid vote state accepted")
+	}
+}
+
 func TestLoadLabelsRejectsGarbage(t *testing.T) {
 	r := NewRunner(&Oracle{Truth: truth2()}, 0.01)
 	if _, err := r.LoadLabels(strings.NewReader("not json")); err == nil {

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/datagen"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// runOutcome is the comparable footprint of one pipeline run.
+type runOutcome struct {
+	matches    []record.Pair
+	f1         float64
+	accounting crowd.Accounting
+	stop       string
+}
+
+func runOnce(seed int64, errRate float64) (runOutcome, error) {
+	// Each run generates its own dataset and crowd: instances share nothing,
+	// and datagen is deterministic, so serial and parallel runs see
+	// identical inputs.
+	ds := datagen.Generate(datagen.Scaled(datagen.RestaurantsPaper, 0.2))
+	var c crowd.Crowd
+	if errRate > 0 {
+		c = crowd.NewSimulated(ds.Truth, errRate, seed*31+7)
+	} else {
+		c = &crowd.Oracle{Truth: ds.Truth}
+	}
+	cfg := Defaults()
+	cfg.Seed = seed
+	res, err := Run(ds, c, cfg)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	return runOutcome{
+		matches:    res.Matches,
+		f1:         res.True.F1,
+		accounting: res.Accounting,
+		stop:       res.StopReason,
+	}, nil
+}
+
+// TestConcurrentRunsMatchSerial runs four share-nothing pipelines in
+// parallel and asserts each produces results identical to a serial run with
+// the same seed. Run under -race this also proves the modules keep no
+// hidden shared state (package-level rngs, caches, ...).
+func TestConcurrentRunsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight full pipeline runs")
+	}
+	specs := []struct {
+		seed    int64
+		errRate float64
+	}{
+		{seed: 11, errRate: 0},
+		{seed: 22, errRate: 0.05},
+		{seed: 33, errRate: 0},
+		{seed: 44, errRate: 0.10},
+	}
+
+	serial := make([]runOutcome, len(specs))
+	for i, sp := range specs {
+		out, err := runOnce(sp.seed, sp.errRate)
+		if err != nil {
+			t.Fatalf("serial run %d: %v", i, err)
+		}
+		serial[i] = out
+	}
+
+	parallel := make([]runOutcome, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, seed int64, errRate float64) {
+			defer wg.Done()
+			parallel[i], errs[i] = runOnce(seed, errRate)
+		}(i, sp.seed, sp.errRate)
+	}
+	wg.Wait()
+
+	for i := range specs {
+		if errs[i] != nil {
+			t.Fatalf("parallel run %d: %v", i, errs[i])
+		}
+		s, p := serial[i], parallel[i]
+		if s.f1 != p.f1 {
+			t.Errorf("run %d: parallel F1 %.2f != serial %.2f", i, p.f1, s.f1)
+		}
+		if s.accounting != p.accounting {
+			t.Errorf("run %d: parallel accounting %+v != serial %+v", i, p.accounting, s.accounting)
+		}
+		if s.stop != p.stop {
+			t.Errorf("run %d: parallel stop %q != serial %q", i, p.stop, s.stop)
+		}
+		if fmt.Sprint(s.matches) != fmt.Sprint(p.matches) {
+			t.Errorf("run %d: parallel matches differ from serial (%d vs %d pairs)",
+				i, len(p.matches), len(s.matches))
+		}
+	}
+}

@@ -54,8 +54,34 @@ type Config struct {
 	// returned with StopReason "canceled" — labels already paid for are in
 	// the result, not lost.
 	Cancel <-chan struct{}
+	// Runner, when non-nil, is used instead of constructing a fresh runner
+	// from the crowd argument — the resume path: a run service preloads it
+	// with journaled labels (and replay batches) so settled questions are
+	// never re-paid, and installs its journal hooks before the run starts.
+	// PricePerQuestion is ignored in that case; the runner carries its own.
+	Runner *crowd.Runner
+	// Checkpoint, when non-nil, receives a durable-state snapshot at every
+	// phase boundary (after blocking and after each iteration, estimation,
+	// and reduction phase). A run service flushes its journal here.
+	Checkpoint func(Checkpoint)
 	// Seed drives all sampling.
 	Seed int64
+}
+
+// Checkpoint is the phase-boundary snapshot handed to Config.Checkpoint:
+// everything a journal needs to make the run resumable at this point.
+type Checkpoint struct {
+	// Phase is "blocking", "iteration", "estimation", or "reduction".
+	Phase string
+	// Iteration is the 1-based matching iteration (0 for blocking).
+	Iteration int
+	// Accounting is the crowd spend at the boundary.
+	Accounting crowd.Accounting
+	// Forest is the matcher trained this iteration (nil outside iteration
+	// boundaries) and FeatureNames its feature contract, so the snapshot
+	// can be persisted with forest.Save and re-applied later.
+	Forest       *forest.Forest
+	FeatureNames []string
 }
 
 // Event is one pipeline progress notification.
@@ -185,7 +211,10 @@ func Run(ds *record.Dataset, c crowd.Crowd, cfg Config) (*Result, error) {
 	if cfg.PricePerQuestion <= 0 {
 		cfg.PricePerQuestion = 0.01
 	}
-	runner := crowd.NewRunner(c, cfg.PricePerQuestion)
+	runner := cfg.Runner
+	if runner == nil {
+		runner = crowd.NewRunner(c, cfg.PricePerQuestion)
+	}
 	runner.SeedLabels(ds.Seeds)
 	ex := feature.NewExtractor(ds)
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -196,6 +225,17 @@ func Run(ds *record.Dataset, c crowd.Crowd, cfg Config) (*Result, error) {
 		}
 		st := runner.Stats()
 		cfg.Listener(Event{Phase: phase, Detail: detail, Cost: st.Cost, Pairs: st.Pairs})
+	}
+	checkpoint := func(phase string, iter int, f *forest.Forest) {
+		if cfg.Checkpoint == nil {
+			return
+		}
+		cp := Checkpoint{Phase: phase, Iteration: iter,
+			Accounting: runner.Stats(), Forest: f}
+		if f != nil {
+			cp.FeatureNames = ex.Names()
+		}
+		cfg.Checkpoint(cp)
 	}
 
 	canceled := func() bool {
@@ -260,6 +300,7 @@ func Run(ds *record.Dataset, c crowd.Crowd, cfg Config) (*Result, error) {
 	} else {
 		emit("blocking", "skipped (Cartesian product below t_B)")
 	}
+	checkpoint("blocking", 0, nil)
 
 	// Candidate set C and its feature vectors.
 	C := blk.Candidates
@@ -359,6 +400,7 @@ func Run(ds *record.Dataset, c crowd.Crowd, cfg Config) (*Result, error) {
 		res.Phases = append(res.Phases, iterPhase)
 		emit("matching", fmt.Sprintf("iteration %d done: %d predicted matches (AL stopped: %s)",
 			iter, m.PositiveCount, m.Trace.Reason))
+		checkpoint("iteration", iter, m.Forest)
 
 		if cfg.SkipEstimator {
 			res.StopReason = "estimator skipped"
@@ -392,6 +434,7 @@ func Run(ds *record.Dataset, c crowd.Crowd, cfg Config) (*Result, error) {
 				R: 100 * est.Recall.Point, F1: est.F1},
 			HasEst: true,
 		})
+		checkpoint("estimation", iter, nil)
 
 		// Keep the best matching seen so far (by estimated F1); stop when
 		// the estimate no longer improves (§6 intro, §7).
@@ -433,6 +476,7 @@ func Run(ds *record.Dataset, c crowd.Crowd, cfg Config) (*Result, error) {
 			PairsLabeled:   runner.Stats().Pairs - start,
 			ReducedSetSize: len(next),
 		})
+		checkpoint("reduction", iter, nil)
 		if !loc.Proceed {
 			res.StopReason = "locator: " + loc.Reason
 			break

@@ -57,6 +57,10 @@ type Forest struct {
 	cfg   Config
 }
 
+// TrainConfig returns the hyperparameters the forest was trained with
+// (defaults applied). Round-tripped by Save/Load.
+func (f *Forest) TrainConfig() Config { return f.cfg }
+
 // Train grows a forest on feature matrix X and labels y. It panics if X is
 // empty or ragged — the callers (active learning, blocker) always supply at
 // least the four seed examples.

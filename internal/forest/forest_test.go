@@ -262,6 +262,14 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if len(n1) != len(n2) || len(p1) != len(p2) {
 		t.Errorf("rules changed: %d/%d vs %d/%d", len(n1), len(p1), len(n2), len(p2))
 	}
+	// The training configuration survives too, so a snapshot forest is a
+	// complete round trip of the trained state.
+	if g.TrainConfig() != f.TrainConfig() {
+		t.Errorf("config changed: %+v vs %+v", g.TrainConfig(), f.TrainConfig())
+	}
+	if g.TrainConfig().NumTrees == 0 {
+		t.Error("loaded config is zero — training hyperparameters lost")
+	}
 }
 
 func TestLoadRejectsFeatureMismatch(t *testing.T) {

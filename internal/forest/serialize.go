@@ -28,15 +28,19 @@ type savedForest struct {
 	// FeatureNames pins the feature order the model was trained with; Load
 	// verifies it against the target extractor so a model is never applied
 	// to a differently-shaped vector.
-	FeatureNames []string    `json:"feature_names"`
-	Trees        []savedTree `json:"trees"`
+	FeatureNames []string `json:"feature_names"`
+	// Config records the training hyperparameters so a reloaded forest
+	// round-trips completely (older files without it load with a zero
+	// config, as before).
+	Config Config      `json:"config,omitempty"`
+	Trees  []savedTree `json:"trees"`
 }
 
 // Save serializes the forest as JSON, recording featureNames so the model
 // can later be applied to data featurized the same way (the paper's
 // Example 3.1: a trained toy matcher keeps matching future toys).
 func (f *Forest) Save(w io.Writer, featureNames []string) error {
-	out := savedForest{FeatureNames: featureNames}
+	out := savedForest{FeatureNames: featureNames, Config: f.cfg}
 	for _, t := range f.Trees {
 		var st savedTree
 		var flatten func(n *tree.Node) int
@@ -83,7 +87,7 @@ func Load(r io.Reader, featureNames []string) (*Forest, error) {
 			}
 		}
 	}
-	f := &Forest{}
+	f := &Forest{cfg: in.Config}
 	for ti, st := range in.Trees {
 		if len(st.Nodes) == 0 {
 			return nil, fmt.Errorf("forest: tree %d is empty", ti)

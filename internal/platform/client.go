@@ -190,10 +190,19 @@ type RemoteCrowd struct {
 	Poll time.Duration
 	// Timeout bounds one answer round trip (default 10s).
 	Timeout time.Duration
+	// Cancel, when non-nil, aborts answering as soon as the channel
+	// closes: no new HIT is posted and any in-flight status polling stops
+	// immediately, rather than riding out Timeout. Wire it to the same
+	// channel as engine.Config.Cancel so a canceled run stops paying the
+	// marketplace promptly.
+	Cancel <-chan struct{}
 }
 
 // Answer implements crowd.Crowd over the HTTP marketplace.
 func (rc *RemoteCrowd) Answer(p record.Pair) bool {
+	if rc.canceled() {
+		return false
+	}
 	poll := rc.Poll
 	if poll <= 0 {
 		poll = time.Millisecond
@@ -223,9 +232,22 @@ func (rc *RemoteCrowd) Answer(p record.Pair) bool {
 		if err == nil && st.Complete && len(st.Results) > 0 && len(st.Results[0].Answers) > 0 {
 			return st.Results[0].Answers[0]
 		}
-		time.Sleep(poll)
+		select {
+		case <-rc.Cancel:
+			return false
+		case <-time.After(poll):
+		}
 	}
 	return false
+}
+
+func (rc *RemoteCrowd) canceled() bool {
+	select {
+	case <-rc.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 func tupleMap(ds *record.Dataset, t *record.Table, row int) map[string]string {

@@ -241,3 +241,55 @@ func TestWorkerPoolStops(t *testing.T) {
 		t.Error("oracle worker answered a true match with no")
 	}
 }
+
+// TestRemoteCrowdCancel verifies a canceled RemoteCrowd stops polling
+// promptly (well before Timeout) and posts no further HITs — the engine's
+// Cancel contract extended into the HIT polling loop.
+func TestRemoteCrowdCancel(t *testing.T) {
+	ds := datagen.Generate(datagen.Scaled(datagen.RestaurantsPaper, 0.1))
+	server := NewServer()
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+	// No workers attached: an answer can never arrive, so only Cancel can
+	// end the poll before the 10s default timeout.
+	cancel := make(chan struct{})
+	rc := &RemoteCrowd{
+		Client:  NewClient(srv.URL),
+		Dataset: ds,
+		Poll:    5 * time.Millisecond,
+		Timeout: 10 * time.Second,
+		Cancel:  cancel,
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(cancel)
+	}()
+	start := time.Now()
+	ans := rc.Answer(record.P(0, 0))
+	elapsed := time.Since(start)
+	if ans {
+		t.Error("canceled answer reported a match")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancel took %v to stop polling", elapsed)
+	}
+	// Once canceled, Answer refuses to post new HITs at all.
+	before := server.TotalPaidCents()
+	hitCount := len(serverOpenHITs(server))
+	if rc.Answer(record.P(0, 1)) {
+		t.Error("post-cancel answer reported a match")
+	}
+	if got := len(serverOpenHITs(server)); got != hitCount {
+		t.Errorf("canceled crowd posted a new HIT (%d -> %d open)", hitCount, got)
+	}
+	if server.TotalPaidCents() != before {
+		t.Error("canceled crowd paid workers")
+	}
+}
+
+// serverOpenHITs snapshots the open-HIT ids for assertions.
+func serverOpenHITs(s *Server) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.open...)
+}

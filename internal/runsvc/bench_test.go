@@ -1,0 +1,103 @@
+package runsvc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSpec is a small but complete pipeline run (~100ms serial): real
+// blocking, active learning, estimation — not a stub, so the numbers
+// reflect what the service actually schedules.
+func benchSpec(b *testing.B, seed int64) Spec {
+	b.Helper()
+	meta := testMeta(seed, 0.1, 0)
+	spec, err := BuildSpec(meta)
+	if err != nil {
+		b.Fatalf("BuildSpec: %v", err)
+	}
+	return spec
+}
+
+// BenchmarkSubmitToComplete measures single-job latency through the
+// service: submit, schedule, full pipeline, terminal state.
+func BenchmarkSubmitToComplete(b *testing.B) {
+	m, err := NewManager(Options{Workers: 1})
+	if err != nil {
+		b.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := m.Submit(benchSpec(b, int64(i+1)))
+		if err != nil {
+			b.Fatalf("Submit: %v", err)
+		}
+		if _, err := j.Wait(); err != nil {
+			b.Fatalf("job: %v", err)
+		}
+	}
+}
+
+// BenchmarkThroughput measures jobs/sec at pool sizes 1, 4, and 8 with a
+// backlog of 8 jobs per iteration — the scheduling win from running
+// engine instances concurrently.
+func BenchmarkThroughput(b *testing.B) {
+	const backlog = 8
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("pool%d", workers), func(b *testing.B) {
+			m, err := NewManager(Options{Workers: workers})
+			if err != nil {
+				b.Fatalf("NewManager: %v", err)
+			}
+			defer m.Close()
+			// Pre-build the specs (dataset generation is not what this
+			// benchmark measures).
+			specs := make([]Spec, backlog)
+			for k := range specs {
+				specs[k] = benchSpec(b, int64(k+1))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jobs := make([]*Job, backlog)
+				for k := range jobs {
+					j, err := m.Submit(specs[k])
+					if err != nil {
+						b.Fatalf("Submit: %v", err)
+					}
+					jobs[k] = j
+				}
+				for _, j := range jobs {
+					if _, err := j.Wait(); err != nil {
+						b.Fatalf("job: %v", err)
+					}
+				}
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*backlog)/elapsed, "jobs/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkJournaledSubmit is BenchmarkSubmitToComplete with durable
+// journaling enabled, isolating the cost of label/batch/checkpoint
+// flushes on the job's critical path.
+func BenchmarkJournaledSubmit(b *testing.B) {
+	m, err := NewManager(Options{Workers: 1, JournalDir: b.TempDir()})
+	if err != nil {
+		b.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := m.Submit(benchSpec(b, int64(i+1)))
+		if err != nil {
+			b.Fatalf("Submit: %v", err)
+		}
+		if _, err := j.Wait(); err != nil {
+			b.Fatalf("job: %v", err)
+		}
+	}
+}

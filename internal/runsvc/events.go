@@ -1,0 +1,113 @@
+package runsvc
+
+import "sync"
+
+// Event is one entry in a job's progress stream. Every event carries the
+// job id and a per-job sequence number so multiplexed consumers can
+// demultiplex and detect gaps.
+type Event struct {
+	Seq int    `json:"seq"`
+	Job string `json:"job"`
+	// Kind is "state" (lifecycle transition), "progress" (engine pipeline
+	// event), or "checkpoint" (journal flush at a phase boundary).
+	Kind string `json:"kind"`
+	// State is set on "state" events.
+	State State `json:"state,omitempty"`
+	// Phase and Detail mirror engine progress events; Phase also names the
+	// checkpointed phase on "checkpoint" events.
+	Phase  string `json:"phase,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// Iteration is the matching iteration on "checkpoint" events.
+	Iteration int `json:"iteration,omitempty"`
+	// Cost and Pairs snapshot the job's crowd spend at emission time.
+	Cost  float64 `json:"cost"`
+	Pairs int     `json:"pairs"`
+}
+
+// subBuffer is each subscriber's channel capacity. A full Corleone run
+// emits a few dozen events; the buffer absorbs slow consumers. If a
+// subscriber still falls behind, events are dropped for that subscriber
+// only (never for the journal, which is written synchronously).
+const subBuffer = 1024
+
+// broker is a per-job event stream: it retains full history (runs emit
+// dozens of events, not millions) and fans live events out to subscribers.
+type broker struct {
+	mu      sync.Mutex
+	history []Event
+	subs    map[int]chan Event
+	nextSub int
+	closed  bool
+}
+
+func newBroker() *broker {
+	return &broker{subs: make(map[int]chan Event)}
+}
+
+// publish appends the event (stamping its sequence number) and fans it out.
+func (b *broker) publish(e Event) Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return e
+	}
+	e.Seq = len(b.history)
+	b.history = append(b.history, e)
+	for _, ch := range b.subs {
+		select {
+		case ch <- e:
+		default: // slow subscriber: drop for them, never block the job
+		}
+	}
+	return e
+}
+
+// subscribe returns a channel pre-loaded with the full history followed by
+// live events, and a cancel function. The channel is closed when the job's
+// stream ends (terminal state published) or cancel is called.
+func (b *broker) subscribe() (<-chan Event, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan Event, len(b.history)+subBuffer)
+	for _, e := range b.history {
+		ch <- e
+	}
+	if b.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := b.nextSub
+	b.nextSub++
+	b.subs[id] = ch
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+// close ends the stream: all subscriber channels are closed after any
+// already-published events drain.
+func (b *broker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+}
+
+// snapshot copies the history so far.
+func (b *broker) snapshot() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.history...)
+}

@@ -1,0 +1,151 @@
+package runsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler is the HTTP control surface over a Manager:
+//
+//	POST /jobs                submit a job (body: Meta) -> Status
+//	GET  /jobs                list job statuses
+//	GET  /jobs/{id}           one job's status
+//	POST /jobs/{id}/cancel    request cancellation
+//	POST /jobs/{id}/resume    resume a journaled job in this process
+//	GET  /jobs/{id}/events    NDJSON event stream (history, then live)
+//	GET  /journal             list journaled job ids (including past runs)
+//
+// Styled after internal/platform: stdlib mux, JSON in/out, no deps.
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var meta Meta
+			if err := json.NewDecoder(r.Body).Decode(&meta); err != nil {
+				httpError(w, http.StatusBadRequest, "decode meta: %v", err)
+				return
+			}
+			spec, err := BuildSpec(meta)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			j, err := m.Submit(spec)
+			if err != nil {
+				httpError(w, http.StatusServiceUnavailable, "%v", err)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, j.Status())
+		case http.MethodGet:
+			jobs := m.Jobs()
+			out := make([]Status, len(jobs))
+			for i, j := range jobs {
+				out[i] = j.Status()
+			}
+			writeJSON(w, http.StatusOK, out)
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		}
+	})
+
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+		id, action, _ := strings.Cut(rest, "/")
+		if id == "" {
+			httpError(w, http.StatusBadRequest, "missing job id")
+			return
+		}
+		switch {
+		case action == "" && r.Method == http.MethodGet:
+			j, ok := m.Job(id)
+			if !ok {
+				httpError(w, http.StatusNotFound, "unknown job %s", id)
+				return
+			}
+			writeJSON(w, http.StatusOK, j.Status())
+		case action == "cancel" && r.Method == http.MethodPost:
+			if err := m.Cancel(id); err != nil {
+				httpError(w, http.StatusNotFound, "%v", err)
+				return
+			}
+			j, _ := m.Job(id)
+			writeJSON(w, http.StatusOK, j.Status())
+		case action == "resume" && r.Method == http.MethodPost:
+			j, err := m.Resume(id)
+			if err != nil {
+				httpError(w, http.StatusConflict, "%v", err)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, j.Status())
+		case action == "events" && r.Method == http.MethodGet:
+			j, ok := m.Job(id)
+			if !ok {
+				httpError(w, http.StatusNotFound, "unknown job %s", id)
+				return
+			}
+			streamEvents(w, r, j)
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "no %s %s", r.Method, r.URL.Path)
+		}
+	})
+
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		if m.Store() == nil {
+			writeJSON(w, http.StatusOK, []string{})
+			return
+		}
+		ids := m.Store().List()
+		if ids == nil {
+			ids = []string{}
+		}
+		writeJSON(w, http.StatusOK, ids)
+	})
+
+	return mux
+}
+
+// streamEvents writes the job's event stream as NDJSON: the full history
+// first, then live events until the job reaches a terminal state or the
+// client goes away.
+func streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	ch, cancel := j.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}

@@ -1,0 +1,195 @@
+package runsvc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeStatus(t *testing.T, resp *http.Response) Status {
+	t.Helper()
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	return st
+}
+
+func waitForState(t *testing.T, base, id string, want State) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		st := decodeStatus(t, resp)
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s ended %s, want %s (error %q)", id, st.State, want, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Status{}
+}
+
+func TestHTTPSubmitStatusEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("HTTP integration test in -short mode")
+	}
+	dir := t.TempDir()
+	m, err := NewManager(Options{Workers: 2, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	// Bad requests first.
+	resp := postJSON(t, srv.URL+"/jobs", Meta{Profile: "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown profile: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if r, _ := http.Get(srv.URL + "/jobs/missing"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", r.StatusCode)
+	}
+
+	// Submit and follow to completion.
+	resp = postJSON(t, srv.URL+"/jobs", testMeta(5, 0.15, 0))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp)
+	if st.ID == "" || !strings.HasPrefix(st.ID, "restaurants-") {
+		t.Fatalf("submit returned status %+v", st)
+	}
+	final := waitForState(t, srv.URL, st.ID, StateDone)
+	if final.Matches == 0 || final.Cost <= 0 {
+		t.Fatalf("final status %+v has no result", final)
+	}
+
+	// The event stream replays history and terminates once the job is done.
+	eresp, err := http.Get(srv.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer eresp.Body.Close()
+	if ct := eresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(eresp.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	last := events[len(events)-1]
+	if last.Kind != "state" || last.State != StateDone {
+		t.Fatalf("stream ended with %+v, want state/done", last)
+	}
+
+	// Listing includes the job; the journal listing shows its directory.
+	lresp, err := http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatalf("GET jobs: %v", err)
+	}
+	var list []Status
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	lresp.Body.Close()
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("job list %+v", list)
+	}
+	jresp, err := http.Get(srv.URL + "/journal")
+	if err != nil {
+		t.Fatalf("GET journal: %v", err)
+	}
+	var ids []string
+	if err := json.NewDecoder(jresp.Body).Decode(&ids); err != nil {
+		t.Fatalf("decode journal list: %v", err)
+	}
+	jresp.Body.Close()
+	if len(ids) != 1 || ids[0] != st.ID {
+		t.Fatalf("journal list %v", ids)
+	}
+
+	// Resume over HTTP: the finished job re-runs from its journal (every
+	// label cached, so it costs nothing new) and lands done again.
+	rresp := postJSON(t, srv.URL+"/jobs/"+st.ID+"/resume", nil)
+	if rresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume: status %d, want 202", rresp.StatusCode)
+	}
+	rst := decodeStatus(t, rresp)
+	if rst.ID != st.ID || !rst.Resumed {
+		t.Fatalf("resume status %+v", rst)
+	}
+	waitForState(t, srv.URL, st.ID, StateDone)
+}
+
+func TestHTTPCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("HTTP integration test in -short mode")
+	}
+	m, err := NewManager(Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	resp := postJSON(t, srv.URL+"/jobs", testMeta(3, 0.3, 0))
+	st := decodeStatus(t, resp)
+	waitForState(t, srv.URL, st.ID, StateRunning)
+
+	cresp := postJSON(t, srv.URL+"/jobs/"+st.ID+"/cancel", nil)
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d, want 200", cresp.StatusCode)
+	}
+	cresp.Body.Close()
+
+	j, _ := m.Job(st.ID)
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled job never finished")
+	}
+	if j.State() != StateCanceled {
+		t.Fatalf("state %s, want canceled", j.State())
+	}
+
+	if r := postJSON(t, srv.URL+"/jobs/missing/cancel", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job: status %d, want 404", r.StatusCode)
+	}
+}

@@ -1,0 +1,372 @@
+package runsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/engine"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// Journal layout, one directory per job under the store root:
+//
+//	spec.json          serializable job description (Meta), written once
+//	labels.jsonl       append-only crowd label log (crowd.AppendLabels)
+//	batches.jsonl      append-only training-batch compositions, one per line
+//	checkpoints.jsonl  append-only phase/cost records
+//	model_iterNN.json  per-iteration matcher snapshot (forest.Save)
+//	status.json        terminal status record, written atomically at the end
+//
+// labels.jsonl and batches.jsonl are the resume-critical pair: labels make
+// settled questions free, batches make replayed HIT packing exact. Both are
+// flushed (written + synced) at crowd batch boundaries, so a hard kill
+// loses at most the in-flight batch.
+
+// Store manages the journal root directory.
+type Store struct {
+	root string
+}
+
+// NewStore opens (creating if needed) a journal store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runsvc: journal store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Exists reports whether a journal directory exists for the job id.
+func (s *Store) Exists(id string) bool {
+	st, err := os.Stat(filepath.Join(s.root, id))
+	return err == nil && st.IsDir()
+}
+
+// List returns the job ids with journals, sorted.
+func (s *Store) List() []string {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open opens (creating if needed) the journal for one job, with its
+// append-only files positioned at the end.
+func (s *Store) Open(id string) (*Journal, error) {
+	dir := filepath.Join(s.root, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runsvc: journal %s: %w", id, err)
+	}
+	j := &Journal{dir: dir}
+	var err error
+	appendFlags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if j.labels, err = os.OpenFile(filepath.Join(dir, "labels.jsonl"), appendFlags, 0o644); err != nil {
+		return nil, err
+	}
+	if j.batches, err = os.OpenFile(filepath.Join(dir, "batches.jsonl"), appendFlags, 0o644); err != nil {
+		j.Close()
+		return nil, err
+	}
+	if j.checks, err = os.OpenFile(filepath.Join(dir, "checkpoints.jsonl"), appendFlags, 0o644); err != nil {
+		j.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Journal is one job's durable state. Methods are called from the single
+// executor goroutine running the job; no locking needed.
+type Journal struct {
+	dir     string
+	labels  *os.File
+	batches *os.File
+	checks  *os.File
+
+	// batchesWritten counts appendBatch calls; failAfterBatches, when
+	// positive, makes the journal panic after that many batch appends —
+	// test-only crash injection simulating a process kill right after a
+	// flush boundary.
+	batchesWritten   int
+	failAfterBatches int
+}
+
+// crashSentinel is the panic value used by crash injection.
+type crashSentinel struct{}
+
+// Close closes the journal's files.
+func (j *Journal) Close() {
+	for _, f := range []*os.File{j.labels, j.batches, j.checks} {
+		if f != nil {
+			f.Close()
+		}
+	}
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// specRecord is the stored form of a job's description.
+type specRecord struct {
+	Name string `json:"name"`
+	// Meta is nil for library-submitted jobs that carry no serializable
+	// description; such jobs resume only via Manager.ResumeSpec.
+	Meta *Meta `json:"meta"`
+}
+
+// WriteSpec records the job description (idempotent; first write wins so a
+// resumed job cannot alter its own history).
+func (j *Journal) WriteSpec(name string, meta *Meta) error {
+	path := filepath.Join(j.dir, "spec.json")
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	return writeFileAtomic(path, specRecord{Name: name, Meta: meta})
+}
+
+// ReadSpec loads the stored job description.
+func (j *Journal) ReadSpec() (specRecord, error) {
+	var rec specRecord
+	buf, err := os.ReadFile(filepath.Join(j.dir, "spec.json"))
+	if err != nil {
+		return rec, fmt.Errorf("runsvc: read spec: %w", err)
+	}
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return rec, fmt.Errorf("runsvc: decode spec: %w", err)
+	}
+	return rec, nil
+}
+
+// FlushLabels appends the runner's dirty label entries and syncs.
+func (j *Journal) FlushLabels(r *crowd.Runner) error {
+	n, err := r.AppendLabels(j.labels)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	return j.labels.Sync()
+}
+
+// AppendBatch records one training batch's composition. Labels are flushed
+// first so every journaled batch's labels are always readable at replay —
+// the ordering that makes replay exact.
+func (j *Journal) AppendBatch(r *crowd.Runner, batch []crowd.Labeled) error {
+	if err := j.FlushLabels(r); err != nil {
+		return err
+	}
+	line := make([][2]int32, len(batch))
+	for i, l := range batch {
+		line[i] = [2]int32{l.Pair.A, l.Pair.B}
+	}
+	if err := json.NewEncoder(j.batches).Encode(line); err != nil {
+		return err
+	}
+	if err := j.batches.Sync(); err != nil {
+		return err
+	}
+	j.batchesWritten++
+	if j.failAfterBatches > 0 && j.batchesWritten >= j.failAfterBatches {
+		panic(crashSentinel{})
+	}
+	return nil
+}
+
+// checkpointRecord is one phase/cost line in checkpoints.jsonl.
+type checkpointRecord struct {
+	Phase     string  `json:"phase"`
+	Iteration int     `json:"iteration"`
+	Answers   int     `json:"answers"`
+	Pairs     int     `json:"pairs"`
+	Cost      float64 `json:"cost"`
+	HITs      int     `json:"hits"`
+	Time      string  `json:"time"`
+}
+
+// Checkpoint flushes labels and appends a phase/cost record; on iteration
+// boundaries it also snapshots the matcher with forest serialization, so
+// the best model so far survives a crash in a directly loadable form.
+func (j *Journal) Checkpoint(r *crowd.Runner, cp engine.Checkpoint) error {
+	if err := j.FlushLabels(r); err != nil {
+		return err
+	}
+	rec := checkpointRecord{
+		Phase:     cp.Phase,
+		Iteration: cp.Iteration,
+		Answers:   cp.Accounting.Answers,
+		Pairs:     cp.Accounting.Pairs,
+		Cost:      cp.Accounting.Cost,
+		HITs:      cp.Accounting.HITs,
+		Time:      time.Now().UTC().Format(time.RFC3339),
+	}
+	if err := json.NewEncoder(j.checks).Encode(rec); err != nil {
+		return err
+	}
+	if err := j.checks.Sync(); err != nil {
+		return err
+	}
+	if cp.Forest != nil {
+		path := filepath.Join(j.dir, fmt.Sprintf("model_iter%02d.json", cp.Iteration))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := cp.Forest.Save(f, cp.FeatureNames); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoints reads the phase/cost records journaled so far.
+func (j *Journal) Checkpoints() ([]checkpointRecord, error) {
+	f, err := os.Open(filepath.Join(j.dir, "checkpoints.jsonl"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var out []checkpointRecord
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var rec checkpointRecord
+		if err := dec.Decode(&rec); err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Replay loads the journal into a fresh runner: the label log (settled
+// questions become free) and the batch log (recorded packing replays
+// verbatim). Returns the number of labels and batches loaded.
+func (j *Journal) Replay(r *crowd.Runner) (labels, batches int, err error) {
+	lf, err := os.Open(filepath.Join(j.dir, "labels.jsonl"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	labels, err = r.LoadLabelLog(lf)
+	lf.Close()
+	if err != nil {
+		return labels, 0, fmt.Errorf("runsvc: replay labels: %w", err)
+	}
+
+	bf, err := os.Open(filepath.Join(j.dir, "batches.jsonl"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return labels, 0, nil
+		}
+		return labels, 0, err
+	}
+	defer bf.Close()
+	var recs [][]record.Pair
+	dec := json.NewDecoder(bf)
+	for dec.More() {
+		var line [][2]int32
+		if err := dec.Decode(&line); err != nil {
+			return labels, len(recs), fmt.Errorf("runsvc: replay batches: %w", err)
+		}
+		ps := make([]record.Pair, len(line))
+		for i, ab := range line {
+			ps[i] = record.Pair{A: ab[0], B: ab[1]}
+		}
+		recs = append(recs, ps)
+	}
+	r.QueueReplayBatches(recs)
+	return labels, len(recs), nil
+}
+
+// StatusRecord is the terminal state written to status.json.
+type StatusRecord struct {
+	State       State   `json:"state"`
+	StopReason  string  `json:"stop_reason,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Matches     int     `json:"matches"`
+	EstimatedF1 float64 `json:"estimated_f1"`
+	TrueF1      float64 `json:"true_f1,omitempty"`
+	Answers     int     `json:"answers"`
+	Pairs       int     `json:"pairs"`
+	Cost        float64 `json:"cost"`
+	Iterations  int     `json:"iterations"`
+	Finished    string  `json:"finished"`
+}
+
+// WriteStatus atomically records the job's terminal state.
+func (j *Journal) WriteStatus(rec StatusRecord) error {
+	rec.Finished = time.Now().UTC().Format(time.RFC3339)
+	return writeFileAtomic(filepath.Join(j.dir, "status.json"), rec)
+}
+
+// ReadStatus loads the terminal status, if one was written.
+func (j *Journal) ReadStatus() (StatusRecord, bool) {
+	var rec StatusRecord
+	buf, err := os.ReadFile(filepath.Join(j.dir, "status.json"))
+	if err != nil || json.Unmarshal(buf, &rec) != nil {
+		return rec, false
+	}
+	return rec, true
+}
+
+// writeFileAtomic writes v as indented JSON via a temp file + rename, so
+// readers never observe a torn file.
+func writeFileAtomic(path string, v interface{}) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// copyJournalFile is a small helper for tests and tooling: it copies one
+// journal file to w (e.g. to inspect labels without mutating the journal).
+func (j *Journal) copyJournalFile(name string, w io.Writer) error {
+	f, err := os.Open(filepath.Join(j.dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(w, f)
+	return err
+}

@@ -1,0 +1,339 @@
+package runsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/engine"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// samePairs reports whether two pair sets are equal regardless of order.
+func samePairs(a, b []record.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]record.Pair(nil), a...)
+	bs := append([]record.Pair(nil), b...)
+	record.SortPairs(as)
+	record.SortPairs(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// countingCrowd wraps a crowd and counts answers solicited per pair, so
+// the resume test can prove settled pairs are never re-asked.
+type countingCrowd struct {
+	inner crowd.Crowd
+
+	mu     sync.Mutex
+	counts map[record.Pair]int
+	total  int
+}
+
+func (c *countingCrowd) Answer(p record.Pair) bool {
+	c.mu.Lock()
+	if c.counts == nil {
+		c.counts = make(map[record.Pair]int)
+	}
+	c.counts[p]++
+	c.total++
+	c.mu.Unlock()
+	return c.inner.Answer(p)
+}
+
+// journalEntry mirrors the crowd label-log line format for inspection.
+type journalEntry struct {
+	A       int32  `json:"a"`
+	B       int32  `json:"b"`
+	Answers []bool `json:"answers"`
+	Seed    bool   `json:"seed"`
+}
+
+// readLabelJournal decodes labels.jsonl with its supersede semantics:
+// the last line per pair wins.
+func readLabelJournal(t *testing.T, jl *Journal) map[record.Pair]journalEntry {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := jl.copyJournalFile("labels.jsonl", &buf); err != nil {
+		t.Fatalf("read label journal: %v", err)
+	}
+	out := make(map[record.Pair]journalEntry)
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var e journalEntry
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("decode label journal: %v", err)
+		}
+		out[record.Pair{A: e.A, B: e.B}] = e
+	}
+	return out
+}
+
+// TestKillAndResume is the crash-recovery acceptance test: a job is
+// hard-stopped mid-matching (simulated process kill right after a batch
+// flush), then resumed from the journal by a fresh manager. The resumed
+// run must pay nothing for already-settled pairs, spend in total exactly
+// what an uninterrupted run spends, and land on the identical result.
+func TestKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-and-resume integration test in -short mode")
+	}
+	dir := t.TempDir()
+	meta := testMeta(7, 0.2, 0) // oracle crowd: answers are deterministic
+	const crashAfter = 3
+
+	// Baseline: an uninterrupted run, instrumented to count training
+	// batches so we know the injected crash lands mid-matching.
+	baseSpec, err := BuildSpec(meta)
+	if err != nil {
+		t.Fatalf("BuildSpec: %v", err)
+	}
+	baseRunner := crowd.NewRunner(baseSpec.Crowd, baseSpec.Config.PricePerQuestion)
+	baseBatches := 0
+	baseRunner.OnBatch = func([]crowd.Labeled) { baseBatches++ }
+	baseCfg := baseSpec.Config
+	baseCfg.Runner = baseRunner
+	base, err := engine.Run(baseSpec.Dataset, baseSpec.Crowd, baseCfg)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	if baseBatches <= crashAfter {
+		t.Fatalf("baseline posted %d training batches; crash after %d would not land mid-matching",
+			baseBatches, crashAfter)
+	}
+
+	// Phase 1: run with crash injection — the journal panics (simulating a
+	// kill) right after the 3rd training batch is flushed.
+	m1, err := NewManager(Options{Workers: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	m1.testCrashAfterBatches = crashAfter
+	j1, err := m1.Submit(Spec{Meta: &meta})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res1, err := j1.Wait()
+	m1.Close()
+	if j1.State() != StateCrashed {
+		t.Fatalf("crashed job state = %s (err %v), want crashed", j1.State(), err)
+	}
+	if res1 != nil {
+		t.Fatalf("crashed job returned a result: %+v", res1)
+	}
+
+	// Inspect the journal the "kill" left behind.
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if !store.Exists(j1.ID) {
+		t.Fatalf("no journal for %s; store has %v", j1.ID, store.List())
+	}
+	jl, err := store.Open(j1.ID)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	entries := readLabelJournal(t, jl)
+	journalAnswers := 0
+	for _, e := range entries {
+		journalAnswers += len(e.Answers)
+	}
+	if journalAnswers == 0 {
+		t.Fatal("crash journal holds no paid answers; crash fired too early")
+	}
+	if journalAnswers >= base.Accounting.Answers {
+		t.Fatalf("crash journal holds %d answers, baseline total is %d; crash fired too late",
+			journalAnswers, base.Accounting.Answers)
+	}
+	cps, err := jl.Checkpoints()
+	if err != nil || len(cps) == 0 {
+		t.Fatalf("journal checkpoints = %v, %v; want some", cps, err)
+	}
+	if st, ok := jl.ReadStatus(); !ok || st.State != StateCrashed {
+		t.Fatalf("journal status = %+v, %v; want crashed", st, ok)
+	}
+
+	// The settled set at crash time: pairs whose journaled votes satisfy
+	// the hybrid stopping rule (strong positives, 2+1 negatives). These
+	// must cost zero on resume.
+	scratch := crowd.NewRunner(nil, 0.01)
+	if _, _, err := jl.Replay(scratch); err != nil {
+		t.Fatalf("replay into scratch runner: %v", err)
+	}
+	jl.Close()
+	settled := make(map[record.Pair]bool)
+	for p := range entries {
+		if _, ok := scratch.Cached(p, crowd.PolicyHybrid); ok {
+			settled[p] = true
+		}
+	}
+	if len(settled) == 0 {
+		t.Fatal("no settled pairs in crash journal")
+	}
+
+	// Phase 2: a fresh manager (fresh process, in effect) resumes the job.
+	m2, err := NewManager(Options{Workers: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m2.Close()
+	spec2, err := BuildSpec(meta)
+	if err != nil {
+		t.Fatalf("BuildSpec: %v", err)
+	}
+	counting := &countingCrowd{inner: spec2.Crowd}
+	j2, err := m2.ResumeSpec(j1.ID, Spec{
+		Name:    spec2.Name,
+		Dataset: spec2.Dataset,
+		Crowd:   counting,
+		Config:  spec2.Config,
+		Meta:    &meta,
+	})
+	if err != nil {
+		t.Fatalf("ResumeSpec: %v", err)
+	}
+	if j2.ID != j1.ID {
+		t.Fatalf("resumed job id %s, want %s", j2.ID, j1.ID)
+	}
+	res2, err := j2.Wait()
+	if err != nil {
+		t.Fatalf("resumed job: %v", err)
+	}
+	if j2.State() != StateDone {
+		t.Fatalf("resumed job state = %s, want done", j2.State())
+	}
+
+	// Zero additional crowd cost for already-settled pairs.
+	for p := range settled {
+		if n := counting.counts[p]; n != 0 {
+			t.Errorf("settled pair %v re-asked %d times on resume", p, n)
+		}
+	}
+
+	// Total spend conservation: crash-journaled answers plus resumed-run
+	// answers equals the uninterrupted run's spend — nothing re-paid,
+	// nothing skipped.
+	if got := journalAnswers + res2.Accounting.Answers; got != base.Accounting.Answers {
+		t.Errorf("journal %d + resumed %d = %d answers, uninterrupted run = %d",
+			journalAnswers, res2.Accounting.Answers, got, base.Accounting.Answers)
+	}
+	if counting.total != res2.Accounting.Answers {
+		t.Errorf("crowd saw %d answers, accounting says %d", counting.total, res2.Accounting.Answers)
+	}
+	if res2.Accounting.Pairs != base.Accounting.Pairs {
+		t.Errorf("resumed Pairs = %d, baseline = %d", res2.Accounting.Pairs, base.Accounting.Pairs)
+	}
+
+	// Identical final result.
+	if res2.True.F1 != base.True.F1 {
+		t.Errorf("resumed F1 = %.4f, baseline = %.4f", res2.True.F1, base.True.F1)
+	}
+	if res2.EstimatedF1 != base.EstimatedF1 {
+		t.Errorf("resumed estimated F1 = %.4f, baseline = %.4f", res2.EstimatedF1, base.EstimatedF1)
+	}
+	if res2.StopReason != base.StopReason || res2.Iterations != base.Iterations {
+		t.Errorf("resumed stop %q/%d iters, baseline %q/%d",
+			res2.StopReason, res2.Iterations, base.StopReason, base.Iterations)
+	}
+	if !samePairs(res2.Matches, base.Matches) {
+		t.Errorf("resumed matches (%d) differ from baseline (%d)",
+			len(res2.Matches), len(base.Matches))
+	}
+
+	// The journal now records a clean finish; a second resume attempt of a
+	// done job simply replays to the same answer at zero cost.
+	jl2, err := store.Open(j1.ID)
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	st, ok := jl2.ReadStatus()
+	jl2.Close()
+	if !ok || st.State != StateDone || st.Answers != res2.Accounting.Answers {
+		t.Fatalf("final journal status = %+v, %v", st, ok)
+	}
+}
+
+// TestResumeFromSpecJSON exercises Manager.Resume, which rebuilds the
+// dataset and crowd from the journaled Meta alone — the fresh-process
+// path where the caller has nothing but the journal directory.
+func TestResumeFromSpecJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resume test in -short mode")
+	}
+	dir := t.TempDir()
+	meta := testMeta(9, 0.15, 0)
+	base := serialRun(t, meta)
+
+	m1, err := NewManager(Options{Workers: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	m1.testCrashAfterBatches = 2
+	j1, _ := m1.Submit(Spec{Meta: &meta})
+	j1.Wait()
+	m1.Close()
+	if j1.State() != StateCrashed {
+		t.Fatalf("state = %s, want crashed", j1.State())
+	}
+
+	m2, err := NewManager(Options{Workers: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m2.Close()
+	j2, err := m2.Resume(j1.ID)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	res, err := j2.Wait()
+	if err != nil || j2.State() != StateDone {
+		t.Fatalf("resumed job: state %s, err %v", j2.State(), err)
+	}
+	if res.True.F1 != base.True.F1 || res.StopReason != base.StopReason {
+		t.Errorf("resumed F1 %.4f stop %q, baseline %.4f %q",
+			res.True.F1, res.StopReason, base.True.F1, base.StopReason)
+	}
+
+	// A resume event announcing the replayed label count must be in the
+	// stream before any engine progress.
+	sawReplay := false
+	for _, e := range j2.Events() {
+		if e.Kind == "progress" && e.Phase == "resume" {
+			sawReplay = true
+			break
+		}
+	}
+	if !sawReplay {
+		t.Error("resumed job published no replay event")
+	}
+}
+
+func TestResumeErrors(t *testing.T) {
+	m, err := NewManager(Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+	if _, err := m.Resume("x"); err == nil {
+		t.Fatal("resume without a store succeeded")
+	}
+
+	dir := t.TempDir()
+	md, err := NewManager(Options{Workers: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer md.Close()
+	if _, err := md.Resume("missing"); err == nil {
+		t.Fatal("resume of unknown job succeeded")
+	}
+}

@@ -1,0 +1,169 @@
+// Package runsvc is the durable run-orchestration service: it manages many
+// concurrent Corleone jobs end-to-end. A bounded executor pool runs
+// engine.Run instances in parallel, each wired through the engine's
+// Listener/Cancel/Checkpoint hooks for live status, prompt cancellation,
+// and journaling. Every job appends its durable state — crowd labels,
+// training-batch compositions, phase/cost checkpoints, per-iteration model
+// snapshots — to an on-disk journal, flushed at crowd batch boundaries, so
+// a killed process resumes without re-paying for any settled label.
+//
+// Resume is replay-based, matching the paper's §8.3 label-reuse semantics:
+// computation is cheap and deterministic under a fixed seed, crowd labels
+// are the expensive state. A resumed job re-executes the pipeline from the
+// start; journaled labels serve every already-settled question at zero
+// cost, and the journaled batch log makes the active-learning HIT packing
+// retrace the original trajectory exactly (packing otherwise depends on
+// cache state, which a resumed run has more of). An unbudgeted resumed run
+// therefore completes with the same result as an uninterrupted run with
+// the same seed, paying only for questions the crash lost.
+package runsvc
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/datagen"
+	"github.com/corleone-em/corleone/internal/engine"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// Spec describes one job. Library callers may fill Dataset/Crowd/Config
+// directly; jobs submitted over HTTP (and jobs that should be resumable
+// from the journal alone, in a fresh process) carry a Meta, from which the
+// other fields are reconstructed deterministically.
+type Spec struct {
+	// Name labels the job; job ids derive from it.
+	Name string
+	// Dataset is the data to match and Crowd the answer source.
+	Dataset *record.Dataset
+	Crowd   crowd.Crowd
+	// Config is the engine configuration. Runner, Cancel, and Checkpoint
+	// are owned by the service and must be left nil; Listener, if set, is
+	// chained after the service's own event listener.
+	Config engine.Config
+	// Meta, when non-nil, is the serializable description stored in the
+	// journal. When Dataset/Crowd are nil they are built from it.
+	Meta *Meta
+}
+
+// Meta is the serializable job description: everything needed to
+// reconstruct the dataset, crowd, and engine configuration in a fresh
+// process. Reconstruction is deterministic (synthetic datasets are seeded),
+// which is what makes journal-only resume possible.
+type Meta struct {
+	// Profile names the synthetic dataset family: "restaurants",
+	// "citations", or "products".
+	Profile string `json:"profile"`
+	// Scale shrinks the paper-scale profile (0 or >=1 = full scale).
+	Scale float64 `json:"scale,omitempty"`
+	// Noise overrides the generator's perturbation dial (0 = default).
+	Noise float64 `json:"noise,omitempty"`
+	// ErrorRate sets the simulated crowd's per-answer flip probability;
+	// 0 means a perfect (oracle) crowd.
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	// Seed drives dataset sampling and the engine pipeline.
+	Seed int64 `json:"seed,omitempty"`
+	// Budget, Price, and MaxIterations override engine defaults when > 0.
+	Budget        float64 `json:"budget,omitempty"`
+	Price         float64 `json:"price,omitempty"`
+	MaxIterations int     `json:"max_iterations,omitempty"`
+}
+
+// BuildSpec reconstructs a full Spec from its serializable description.
+func BuildSpec(meta Meta) (Spec, error) {
+	var base datagen.Profile
+	switch strings.ToLower(meta.Profile) {
+	case "restaurants":
+		base = datagen.RestaurantsPaper
+	case "citations":
+		base = datagen.CitationsPaper
+	case "products":
+		base = datagen.ProductsPaper
+	default:
+		return Spec{}, fmt.Errorf("runsvc: unknown profile %q", meta.Profile)
+	}
+	if meta.Scale > 0 && meta.Scale < 1 {
+		base = datagen.Scaled(base, meta.Scale)
+	}
+	if meta.Noise > 0 {
+		base.Noise = meta.Noise
+	}
+	ds := datagen.Generate(base)
+
+	var c crowd.Crowd
+	if meta.ErrorRate > 0 {
+		c = crowd.NewSimulated(ds.Truth, meta.ErrorRate, meta.Seed*31+7)
+	} else {
+		c = &crowd.Oracle{Truth: ds.Truth}
+	}
+
+	cfg := engine.Defaults()
+	if meta.Seed != 0 {
+		cfg.Seed = meta.Seed
+	}
+	if meta.Budget > 0 {
+		cfg.Budget = meta.Budget
+	}
+	if meta.Price > 0 {
+		cfg.PricePerQuestion = meta.Price
+	}
+	if meta.MaxIterations > 0 {
+		cfg.MaxIterations = meta.MaxIterations
+	}
+	m := meta
+	return Spec{
+		Name:    strings.ToLower(meta.Profile),
+		Dataset: ds,
+		Crowd:   c,
+		Config:  cfg,
+		Meta:    &m,
+	}, nil
+}
+
+// normalize fills a Spec's Dataset/Crowd from Meta when absent and
+// validates it is runnable.
+func (s *Spec) normalize() error {
+	if s.Dataset == nil || s.Crowd == nil {
+		if s.Meta == nil {
+			return fmt.Errorf("runsvc: spec has neither dataset+crowd nor meta")
+		}
+		built, err := BuildSpec(*s.Meta)
+		if err != nil {
+			return err
+		}
+		if s.Name == "" {
+			s.Name = built.Name
+		}
+		s.Dataset, s.Crowd, s.Config = built.Dataset, built.Crowd, built.Config
+	}
+	if s.Name == "" {
+		s.Name = s.Dataset.Name
+		if s.Name == "" {
+			s.Name = "job"
+		}
+	}
+	s.Name = sanitizeName(s.Name)
+	if s.Config.Runner != nil || s.Config.Cancel != nil || s.Config.Checkpoint != nil {
+		return fmt.Errorf("runsvc: spec config must leave Runner, Cancel, and Checkpoint nil")
+	}
+	return nil
+}
+
+// sanitizeName keeps job names filesystem- and URL-safe: lowercase
+// alphanumerics and dashes.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ', r == '_', r == '.':
+			b.WriteByte('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "job"
+	}
+	return b.String()
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Full verification: vet, build, and the complete test suite under the
+# race detector. Tier-1 (go build && go test) is a subset; this is the
+# bar for changes touching concurrency — the run service executes many
+# engine pipelines in parallel.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
