@@ -106,6 +106,7 @@ type entry struct {
 	answers []bool
 	label   bool
 	settled Policy // strongest policy whose stopping rule the answers satisfy
+	voted   bool   // a stopping rule completed; false while votes are in flight
 	hasSeed bool   // a user-supplied seed label: authoritative, never re-asked
 }
 
@@ -141,6 +142,14 @@ type Runner struct {
 	// identical packing decisions (batch packing depends on cache state,
 	// which differs on resume — see QueueReplayBatches).
 	OnBatch func(batch []Labeled)
+	// Cancel, when non-nil, makes the runner stop engaging the crowd as
+	// soon as the channel closes: no further questions are solicited, and an
+	// answer returned by a crowd that observed the same cancellation (e.g. a
+	// remote marketplace adapter that aborts polling with a fabricated
+	// answer) is discarded rather than recorded. Entries interrupted
+	// mid-vote keep their genuine answers but stay unsettled, so a resumed
+	// run tops them up instead of trusting a partial majority.
+	Cancel <-chan struct{}
 }
 
 // Labeled aliases record.Labeled for hook signatures.
@@ -167,7 +176,7 @@ func (r *Runner) Stats() Accounting { return r.acct }
 // hit the crowd.
 func (r *Runner) SeedLabels(seeds []record.Labeled) {
 	for _, s := range seeds {
-		r.cache[s.Pair] = &entry{label: s.Match, settled: PolicyStrong, hasSeed: true}
+		r.cache[s.Pair] = &entry{label: s.Match, settled: PolicyStrong, voted: true, hasSeed: true}
 		r.markDirty(s.Pair)
 	}
 }
@@ -193,7 +202,7 @@ func (r *Runner) batchBoundary() {
 func (r *Runner) AllLabeled() []record.Labeled {
 	pairs := make([]record.Pair, 0, len(r.cache))
 	for p, e := range r.cache {
-		if e.hasSeed || len(e.answers) >= 2 {
+		if e.hasSeed || (e.voted && len(e.answers) >= 2) {
 			pairs = append(pairs, p)
 		}
 	}
@@ -223,6 +232,12 @@ func (r *Runner) satisfies(e *entry, policy Policy) bool {
 	if e.hasSeed {
 		return true
 	}
+	if !e.voted {
+		// Votes still in flight (interrupted by a cancel): a partial answer
+		// set must not masquerade as a settled label, even if its count
+		// happens to meet a stopping rule's minimum.
+		return false
+	}
 	switch policy {
 	case Policy21:
 		return e.settled >= Policy21 && len(e.answers) >= 2
@@ -238,12 +253,49 @@ func (r *Runner) satisfies(e *entry, policy Policy) bool {
 	return false
 }
 
+// canceled reports whether the runner's Cancel channel has closed.
+func (r *Runner) canceled() bool {
+	if r.Cancel == nil {
+		return false
+	}
+	select {
+	case <-r.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// solicit asks the crowd for one more answer on p and records it. It
+// reports whether an answer was actually recorded: when the runner is
+// canceled it neither contacts the crowd nor records anything, and an
+// answer that arrives while cancellation is in effect is discarded — a
+// canceled crowd adapter (e.g. platform.RemoteCrowd) returns a fabricated
+// answer, and recording one would corrupt the label cache and accounting.
 func (r *Runner) solicit(p record.Pair, e *entry) bool {
+	if r.canceled() {
+		return false
+	}
 	a := r.crowd.Answer(p)
+	if r.canceled() {
+		return false
+	}
 	e.answers = append(e.answers, a)
 	r.acct.Answers++
 	r.acct.Cost += r.price
-	return a
+	return true
+}
+
+// abortVoting ends a Label call interrupted by cancellation. Genuine
+// answers already recorded are kept (and stay journal-dirty, so they are
+// flushed as in-flight votes), but the entry is not settled — a resumed
+// run tops the votes up under the full stopping rule. An entry that had
+// settled at a weaker policy before this call keeps that label.
+func (r *Runner) abortVoting(e *entry) bool {
+	if !e.voted {
+		e.label, _ = majority(e.answers)
+	}
+	return e.label
 }
 
 func majority(answers []bool) (label bool, lead int) {
@@ -265,22 +317,35 @@ func majority(answers []bool) (label bool, lead int) {
 // pair is labeled it counts toward Accounting.Pairs.
 func (r *Runner) Label(p record.Pair, policy Policy) bool {
 	e, ok := r.cache[p]
+	if ok && (e.hasSeed || r.satisfies(e, policy)) {
+		return e.label
+	}
+	if r.canceled() {
+		// A canceled run must not engage the crowd or record new state;
+		// return the best cached information. Callers discard results
+		// produced after cancellation anyway.
+		if ok {
+			return e.label
+		}
+		return false
+	}
 	if !ok {
 		e = &entry{}
 		r.cache[p] = e
 		r.acct.Pairs++
 	}
-	if e.hasSeed || r.satisfies(e, policy) {
-		return e.label
-	}
 	r.markDirty(p)
 
 	// Phase 1: 2+1. Reuse cached answers; top up to two, then break ties.
 	for len(e.answers) < 2 {
-		r.solicit(p, e)
+		if !r.solicit(p, e) {
+			return r.abortVoting(e)
+		}
 	}
 	if _, lead := majority(e.answers); len(e.answers) == 2 && lead == 0 {
-		r.solicit(p, e)
+		if !r.solicit(p, e) {
+			return r.abortVoting(e)
+		}
 	}
 	lbl, lead := majority(e.answers)
 
@@ -288,7 +353,9 @@ func (r *Runner) Label(p record.Pair, policy Policy) bool {
 	if strong {
 		// Phase 2: strong majority — lead >= 3 or 7 answers (§8.2).
 		for lead < 3 && len(e.answers) < 7 {
-			r.solicit(p, e)
+			if !r.solicit(p, e) {
+				return r.abortVoting(e)
+			}
 			lbl, lead = majority(e.answers)
 		}
 		e.settled = PolicyStrong
@@ -296,6 +363,7 @@ func (r *Runner) Label(p record.Pair, policy Policy) bool {
 		e.settled = Policy21
 	}
 	e.label = lbl
+	e.voted = true
 	// Individual Label calls (rule evaluation, estimation sampling) have no
 	// explicit batch structure; treat every HITSize settles as a boundary so
 	// journals flush at the same granularity as posted HITs.

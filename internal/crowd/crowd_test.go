@@ -27,6 +27,81 @@ func (s *scripted) Answer(record.Pair) bool {
 	return s.answers[len(s.answers)-1]
 }
 
+// cancelingCrowd mimics platform.RemoteCrowd under cancellation: after a
+// set number of genuine answers, it closes the cancel channel mid-answer
+// and returns a fabricated false — the shape a marketplace adapter
+// produces when told to stop polling. Once canceled, every answer is
+// fabricated.
+type cancelingCrowd struct {
+	truth  *record.GroundTruth
+	cancel chan struct{}
+	after  int
+	calls  int
+}
+
+func (c *cancelingCrowd) Answer(p record.Pair) bool {
+	c.calls++
+	select {
+	case <-c.cancel:
+		return false
+	default:
+	}
+	if c.calls >= c.after {
+		close(c.cancel)
+		return false
+	}
+	return c.truth.Match(p)
+}
+
+// TestCancelDiscardsFabricatedVotes proves a canceled runner records
+// nothing it did not genuinely pay for: the fabricated answer a canceled
+// crowd adapter returns is discarded, the interrupted entry stays
+// unsettled, and no further questions are solicited.
+func TestCancelDiscardsFabricatedVotes(t *testing.T) {
+	c := &cancelingCrowd{truth: truth2(), cancel: make(chan struct{}), after: 3}
+	r := NewRunner(c, 0.01)
+	r.Cancel = c.cancel
+
+	// Two genuine answers settle the first pair before cancellation.
+	if !r.Label(record.P(0, 0), Policy21) {
+		t.Fatal("pre-cancel label wrong")
+	}
+	if st := r.Stats(); st.Answers != 2 || st.Cost != 0.02 {
+		t.Fatalf("pre-cancel accounting %+v, want 2 answers at $0.02", st)
+	}
+
+	// The third solicit triggers cancellation mid-answer; its fabricated
+	// false must not be recorded as a vote.
+	r.Label(record.P(0, 1), Policy21)
+	if st := r.Stats(); st.Answers != 2 || st.Cost != 0.02 {
+		t.Errorf("fabricated answer recorded: %+v", st)
+	}
+	if _, ok := r.Cached(record.P(0, 1), Policy21); ok {
+		t.Error("interrupted entry served as settled")
+	}
+
+	// Post-cancel labeling never contacts the crowd again.
+	calls := c.calls
+	r.Label(record.P(1, 1), PolicyHybrid)
+	if c.calls != calls {
+		t.Errorf("canceled runner solicited %d more answers", c.calls-calls)
+	}
+	if st := r.Stats(); st.Answers != 2 {
+		t.Errorf("post-cancel accounting %+v, want 2 answers", st)
+	}
+
+	// The settled pre-cancel label still serves, and nothing half-voted
+	// leaks into the reusable label set.
+	if lbl, ok := r.Cached(record.P(0, 0), Policy21); !ok || !lbl {
+		t.Error("settled pre-cancel label lost")
+	}
+	for _, l := range r.AllLabeled() {
+		if l.Pair == (record.P(0, 1)) {
+			t.Error("unsettled entry in AllLabeled")
+		}
+	}
+}
+
 func TestOracle(t *testing.T) {
 	o := &Oracle{Truth: truth2()}
 	if !o.Answer(record.P(0, 0)) || o.Answer(record.P(0, 1)) {

@@ -1,6 +1,8 @@
 package crowd
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +20,20 @@ type savedEntry struct {
 	Seed    bool   `json:"seed,omitempty"`
 }
 
+// voteStateUnsettled is the Settled encoding for an entry whose votes are
+// still in flight: answers were collected but no stopping rule completed
+// (a cancel interrupted voting). Such entries never serve from cache; a
+// resumed run tops their votes up.
+const voteStateUnsettled = -1
+
+// voteState encodes an entry's settle state for serialization.
+func voteState(e *entry) int {
+	if !e.voted && !e.hasSeed {
+		return voteStateUnsettled
+	}
+	return int(e.settled)
+}
+
 // SaveLabels serializes the runner's label cache (every answer collected,
 // vote states, seeds) as JSON. Crowd labels are paid for; persisting them
 // lets a resumed or re-configured run reuse them at zero cost — the §8.3
@@ -31,7 +47,7 @@ func (r *Runner) SaveLabels(w io.Writer) error {
 			B:       l.Pair.B,
 			Answers: e.answers,
 			Label:   e.label,
-			Settled: int(e.settled),
+			Settled: voteState(e),
 			Seed:    e.hasSeed,
 		})
 	}
@@ -66,7 +82,7 @@ func (r *Runner) AppendLabels(w io.Writer) (int, error) {
 			B:       p.B,
 			Answers: e.answers,
 			Label:   e.label,
-			Settled: int(e.settled),
+			Settled: voteState(e),
 			Seed:    e.hasSeed,
 		}); err != nil {
 			return n, fmt.Errorf("crowd: append labels: %w", err)
@@ -80,36 +96,89 @@ func (r *Runner) AppendLabels(w io.Writer) (int, error) {
 // LoadLabelLog replays a label journal written by AppendLabels: one JSON
 // entry per line, later lines superseding earlier ones for the same pair
 // (an entry is re-appended whenever it gains answers or settles harder).
-// Loaded entries do not count as dirty — they are already durable. Returns
-// the number of log lines applied.
+// Loaded entries do not count as dirty — they are already durable.
+//
+// Replay restores the full accounting, not just the cache: every journaled
+// answer was paid for by an earlier session of the SAME job, so Answers
+// and Cost (answers × the runner's price) resume where the killed process
+// left off — a resumed run's Config.Budget caps cumulative spend, not
+// per-process spend. (Cross-job label reuse goes through LoadLabels, which
+// deliberately adds no cost.)
+//
+// A malformed final line is tolerated and skipped: a hard kill can tear
+// the trailing entry mid-write, and losing the in-flight tail is exactly
+// the journal's durability contract. A malformed line followed by more
+// data is corruption and fails the load. Returns the number of log lines
+// applied.
 func (r *Runner) LoadLabelLog(rd io.Reader) (int, error) {
-	dec := json.NewDecoder(rd)
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
 	n := 0
-	for dec.More() {
-		var e savedEntry
-		if err := dec.Decode(&e); err != nil {
-			return n, fmt.Errorf("crowd: load label log: %w", err)
+	var torn error
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
 		}
-		if e.Settled < 0 || e.Settled > int(PolicyHybrid) {
+		if torn != nil {
+			return n, fmt.Errorf("crowd: load label log: malformed line followed by more data: %w", torn)
+		}
+		var e savedEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			torn = err
+			continue
+		}
+		if e.Settled < voteStateUnsettled || e.Settled > int(PolicyHybrid) {
 			return n, fmt.Errorf("crowd: log entry %d:%d has invalid vote state %d",
 				e.A, e.B, e.Settled)
 		}
 		p := record.Pair{A: e.A, B: e.B}
-		if _, exists := r.cache[p]; !exists && !e.Seed {
-			// Journaled crowd labels were paid for in an earlier session;
-			// they count as labeled pairs for reporting but add no new cost.
+		prev, exists := r.cache[p]
+		if !exists && !e.Seed {
 			// Seeds are excluded: a live run never counts them either.
 			r.acct.Pairs++
+		}
+		paid := len(e.Answers)
+		if exists {
+			// A superseding line carries the pair's cumulative answers;
+			// only the delta is newly restored spend.
+			paid -= len(prev.answers)
+		}
+		if paid > 0 {
+			r.acct.Answers += paid
+			// Accumulate per answer, exactly as solicit does, so a resumed
+			// run's Cost is bit-identical to the uninterrupted run's.
+			for i := 0; i < paid; i++ {
+				r.acct.Cost += r.price
+			}
+		}
+		settled := Policy(e.Settled)
+		if e.Settled == voteStateUnsettled {
+			settled = Policy21
 		}
 		r.cache[p] = &entry{
 			answers: e.Answers,
 			label:   e.Label,
-			settled: Policy(e.Settled),
+			settled: settled,
+			voted:   e.Settled != voteStateUnsettled,
 			hasSeed: e.Seed,
 		}
 		n++
 	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("crowd: load label log: %w", err)
+	}
 	return n, nil
+}
+
+// RestoreHITs raises the HIT counter to n, a journaled cumulative count.
+// Used on resume: replayed training batches serve from cache and never
+// re-post HITs, so the counter is restored from the journal instead of
+// recounted.
+func (r *Runner) RestoreHITs(n int) {
+	if n > r.acct.HITs {
+		r.acct.HITs = n
+	}
 }
 
 // LoadLabels merges previously saved labels into the cache. Existing
@@ -126,13 +195,18 @@ func (r *Runner) LoadLabels(rd io.Reader) (int, error) {
 		if _, exists := r.cache[p]; exists {
 			continue
 		}
-		if e.Settled < 0 || e.Settled > int(PolicyHybrid) {
+		if e.Settled < voteStateUnsettled || e.Settled > int(PolicyHybrid) {
 			return n, fmt.Errorf("crowd: entry %v has invalid vote state %d", p, e.Settled)
+		}
+		settled := Policy(e.Settled)
+		if e.Settled == voteStateUnsettled {
+			settled = Policy21
 		}
 		r.cache[p] = &entry{
 			answers: e.Answers,
 			label:   e.Label,
-			settled: Policy(e.Settled),
+			settled: settled,
+			voted:   e.Settled != voteStateUnsettled,
 			hasSeed: e.Seed,
 		}
 		// Loaded labels were paid for in an earlier session; they count as

@@ -2,6 +2,7 @@ package crowd
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -99,15 +100,24 @@ func TestAppendLabelsRoundTripInFlight(t *testing.T) {
 	if n, err := r2.LoadLabelLog(bytes.NewReader(buf.Bytes())); err != nil || n != 4 {
 		t.Fatalf("loaded %d entries (err %v), want 4", n, err)
 	}
-	// Settled entries serve for free.
+	// Settled entries serve without re-soliciting, and replay restores the
+	// journaled spend (every logged answer was paid for by the same job):
+	// 6 answers across the three crowd-voted entries, none for the seed.
+	restored := r2.Stats()
+	if restored.Answers != 6 || math.Abs(restored.Cost-0.06) > 1e-9 {
+		t.Errorf("restored accounting = %+v, want 6 answers at $0.06", restored)
+	}
+	if restored.Pairs != 3 {
+		t.Errorf("restored Pairs = %d, want 3 (seed excluded)", restored.Pairs)
+	}
 	if lbl := r2.Label(record.P(0, 0), PolicyHybrid); !lbl {
 		t.Error("restored positive label lost")
 	}
 	if lbl := r2.Label(record.P(9, 9), PolicyStrong); !lbl {
 		t.Error("restored seed label lost")
 	}
-	if st := r2.Stats(); st.Answers != 0 || st.Cost != 0 {
-		t.Errorf("restored settled labels cost money: %+v", st)
+	if st := r2.Stats(); st.Answers != restored.Answers || st.Cost != restored.Cost {
+		t.Errorf("serving restored labels solicited new answers: %+v", st)
 	}
 	// The in-flight entry must not satisfy any policy yet...
 	if _, ok := r2.Cached(record.P(1, 2), Policy21); ok {
@@ -116,7 +126,7 @@ func TestAppendLabelsRoundTripInFlight(t *testing.T) {
 	// ...and settling it tops up from the surviving vote instead of
 	// starting over: one more answer reaches the two 2+1 needs.
 	r2.Label(record.P(1, 2), Policy21)
-	if got := r2.Stats().Answers; got != 1 {
+	if got := r2.Stats().Answers - restored.Answers; got != 1 {
 		t.Errorf("topping up an in-flight 1-vote entry took %d answers, want 1", got)
 	}
 }
@@ -147,15 +157,54 @@ func TestAppendLabelsSupersede(t *testing.T) {
 	if r2.Stats().Pairs != 1 {
 		t.Errorf("two log lines for one pair counted as %d pairs", r2.Stats().Pairs)
 	}
+	// Accounting restore is delta-based: the superseding line repeats the
+	// pair's cumulative answers, which must not be double-counted.
+	if r2.Stats().Answers != r1.Stats().Answers {
+		t.Errorf("restored %d answers, original paid %d", r2.Stats().Answers, r1.Stats().Answers)
+	}
+	if r2.Stats().Cost != r1.Stats().Cost {
+		t.Errorf("restored cost %v, original paid %v", r2.Stats().Cost, r1.Stats().Cost)
+	}
 }
 
 func TestLoadLabelLogRejectsGarbage(t *testing.T) {
 	r := NewRunner(&Oracle{Truth: truth2()}, 0.01)
-	if _, err := r.LoadLabelLog(strings.NewReader("not json")); err == nil {
-		t.Error("garbage accepted")
+	// A malformed line with more data after it is corruption, not a torn
+	// tail, and must fail the load.
+	bad := "not json\n" + `{"a":0,"b":0,"label":true,"settled":0,"answers":[true,true]}` + "\n"
+	if _, err := r.LoadLabelLog(strings.NewReader(bad)); err == nil {
+		t.Error("garbage mid-log accepted")
 	}
 	if _, err := r.LoadLabelLog(strings.NewReader(`{"a":0,"b":0,"settled":99}`)); err == nil {
 		t.Error("invalid vote state accepted")
+	}
+}
+
+// TestLoadLabelLogToleratesTornTail verifies crash durability: a hard kill
+// can tear the final journal line mid-write, and replay must recover every
+// complete line instead of failing the resume.
+func TestLoadLabelLogToleratesTornTail(t *testing.T) {
+	truth := truth2()
+	r1 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	r1.Label(record.P(0, 0), PolicyHybrid)
+	r1.Label(record.P(0, 1), Policy21)
+	var log bytes.Buffer
+	if _, err := r1.AppendLabels(&log); err != nil {
+		t.Fatal(err)
+	}
+	full := log.String()
+	torn := full[:len(full)-7] // cut mid-way through the last line
+
+	r2 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	n, err := r2.LoadLabelLog(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail failed the load: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d entries from torn log, want 1", n)
+	}
+	if _, ok := r2.Cached(record.P(0, 0), PolicyHybrid); !ok {
+		t.Error("intact line before the torn tail was lost")
 	}
 }
 

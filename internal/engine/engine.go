@@ -50,9 +50,11 @@ type Config struct {
 	// see both ticking.
 	Listener func(Event)
 	// Cancel, when non-nil, aborts the run as soon as the channel closes
-	// (checked between crowd batches and phases). The partial result is
-	// returned with StopReason "canceled" — labels already paid for are in
-	// the result, not lost.
+	// (checked between crowd batches and phases, and by the crowd runner
+	// before every individual question, so a cancel mid-batch stops
+	// soliciting — and recording — answers immediately). The partial result
+	// is returned with StopReason "canceled" — labels already paid for are
+	// in the result, not lost.
 	Cancel <-chan struct{}
 	// Runner, when non-nil, is used instead of constructing a fresh runner
 	// from the crowd argument — the resume path: a run service preloads it
@@ -214,6 +216,12 @@ func Run(ds *record.Dataset, c crowd.Crowd, cfg Config) (*Result, error) {
 	runner := cfg.Runner
 	if runner == nil {
 		runner = crowd.NewRunner(c, cfg.PricePerQuestion)
+	}
+	if runner.Cancel == nil {
+		// Propagate cancellation below the batch level: the runner refuses
+		// to solicit (or record) answers once the channel closes, so a
+		// canceled crowd adapter's fabricated answers never enter the cache.
+		runner.Cancel = cfg.Cancel
 	}
 	runner.SeedLabels(ds.Seeds)
 	ex := feature.NewExtractor(ds)

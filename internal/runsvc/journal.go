@@ -1,6 +1,8 @@
 package runsvc
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,17 +18,18 @@ import (
 
 // Journal layout, one directory per job under the store root:
 //
-//	spec.json          serializable job description (Meta), written once
+//	spec.json          serializable job description (Meta), written at submit
 //	labels.jsonl       append-only crowd label log (crowd.AppendLabels)
-//	batches.jsonl      append-only training-batch compositions, one per line
+//	batches.jsonl      append-only training-batch records (pairs + HIT count)
 //	checkpoints.jsonl  append-only phase/cost records
 //	model_iterNN.json  per-iteration matcher snapshot (forest.Save)
 //	status.json        terminal status record, written atomically at the end
 //
 // labels.jsonl and batches.jsonl are the resume-critical pair: labels make
-// settled questions free, batches make replayed HIT packing exact. Both are
-// flushed (written + synced) at crowd batch boundaries, so a hard kill
-// loses at most the in-flight batch.
+// settled questions free (and restore their paid accounting), batches make
+// replayed HIT packing exact. Both are flushed (written + synced) at crowd
+// batch boundaries, so a hard kill loses at most the in-flight batch; a
+// torn trailing line such a kill may leave is truncated away on Open.
 
 // Store manages the journal root directory.
 type Store struct {
@@ -50,6 +53,12 @@ func (s *Store) Exists(id string) bool {
 	return err == nil && st.IsDir()
 }
 
+// Remove deletes a job's journal directory. Used to roll back the
+// just-created journal of a submission the queue rejected.
+func (s *Store) Remove(id string) error {
+	return os.RemoveAll(filepath.Join(s.root, id))
+}
+
 // List returns the job ids with journals, sorted.
 func (s *Store) List() []string {
 	entries, err := os.ReadDir(s.root)
@@ -67,11 +76,18 @@ func (s *Store) List() []string {
 }
 
 // Open opens (creating if needed) the journal for one job, with its
-// append-only files positioned at the end.
+// append-only files positioned at the end. A partial trailing line left in
+// an append-only file by a hard kill is truncated away first, so replay
+// sees only complete lines and future appends never fuse with a torn tail.
 func (s *Store) Open(id string) (*Journal, error) {
 	dir := filepath.Join(s.root, id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runsvc: journal %s: %w", id, err)
+	}
+	for _, name := range []string{"labels.jsonl", "batches.jsonl", "checkpoints.jsonl"} {
+		if err := truncateTornLine(filepath.Join(dir, name)); err != nil {
+			return nil, fmt.Errorf("runsvc: journal %s: repair %s: %w", id, name, err)
+		}
 	}
 	j := &Journal{dir: dir}
 	var err error
@@ -108,6 +124,61 @@ type Journal struct {
 
 // crashSentinel is the panic value used by crash injection.
 type crashSentinel struct{}
+
+// truncateTornLine removes a partial trailing line — one without a
+// terminating newline, as left by a hard kill or power loss mid-write —
+// from an append-only journal file. Writes are sequential, so a torn write
+// is always a prefix of a complete "line\n"; truncating back to the last
+// newline loses at most the in-flight entry, which is the journal's stated
+// durability bound. A missing file is fine.
+func truncateTornLine(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, size-1); err != nil {
+		return err
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	// Scan backwards for the last intact line end.
+	keep := int64(0)
+	buf := make([]byte, 4096)
+	for off := size; off > 0 && keep == 0; {
+		n := int64(len(buf))
+		if off < n {
+			n = off
+		}
+		off -= n
+		if _, err := f.ReadAt(buf[:n], off); err != nil {
+			return err
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				keep = off + i + 1
+				break
+			}
+		}
+	}
+	if err := f.Truncate(keep); err != nil {
+		return err
+	}
+	return f.Sync()
+}
 
 // Close closes the journal's files.
 func (j *Journal) Close() {
@@ -164,6 +235,15 @@ func (j *Journal) FlushLabels(r *crowd.Runner) error {
 	return j.labels.Sync()
 }
 
+// batchRecord is one line of batches.jsonl: a training batch's exact pair
+// composition plus the runner's cumulative HIT count at record time. The
+// HIT count lets Replay restore Accounting.HITs — replayed batches serve
+// from cache and never re-post HITs, so the counter cannot be recounted.
+type batchRecord struct {
+	Pairs [][2]int32 `json:"p"`
+	HITs  int        `json:"hits,omitempty"`
+}
+
 // AppendBatch records one training batch's composition. Labels are flushed
 // first so every journaled batch's labels are always readable at replay —
 // the ordering that makes replay exact.
@@ -171,9 +251,9 @@ func (j *Journal) AppendBatch(r *crowd.Runner, batch []crowd.Labeled) error {
 	if err := j.FlushLabels(r); err != nil {
 		return err
 	}
-	line := make([][2]int32, len(batch))
+	line := batchRecord{Pairs: make([][2]int32, len(batch)), HITs: r.Stats().HITs}
 	for i, l := range batch {
-		line[i] = [2]int32{l.Pair.A, l.Pair.B}
+		line.Pairs[i] = [2]int32{l.Pair.A, l.Pair.B}
 	}
 	if err := json.NewEncoder(j.batches).Encode(line); err != nil {
 		return err
@@ -261,8 +341,12 @@ func (j *Journal) Checkpoints() ([]checkpointRecord, error) {
 }
 
 // Replay loads the journal into a fresh runner: the label log (settled
-// questions become free) and the batch log (recorded packing replays
-// verbatim). Returns the number of labels and batches loaded.
+// questions become free, and their paid accounting is restored so budget
+// caps span resumes) and the batch log (recorded packing replays verbatim,
+// with the journaled cumulative HIT count restored). A malformed final
+// batch line — a torn tail from a hard kill — is tolerated and dropped;
+// malformed data mid-log is corruption and fails the replay. Returns the
+// number of labels and batches loaded.
 func (j *Journal) Replay(r *crowd.Runner) (labels, batches int, err error) {
 	lf, err := os.Open(filepath.Join(j.dir, "labels.jsonl"))
 	if err != nil {
@@ -286,19 +370,37 @@ func (j *Journal) Replay(r *crowd.Runner) (labels, batches int, err error) {
 	}
 	defer bf.Close()
 	var recs [][]record.Pair
-	dec := json.NewDecoder(bf)
-	for dec.More() {
-		var line [][2]int32
-		if err := dec.Decode(&line); err != nil {
-			return labels, len(recs), fmt.Errorf("runsvc: replay batches: %w", err)
+	hits := 0
+	torn := false
+	sc := bufio.NewScanner(bf)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
 		}
-		ps := make([]record.Pair, len(line))
-		for i, ab := range line {
+		if torn {
+			return labels, len(recs), fmt.Errorf("runsvc: replay batches: malformed line followed by more data")
+		}
+		var rec batchRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			torn = true
+			continue
+		}
+		ps := make([]record.Pair, len(rec.Pairs))
+		for i, ab := range rec.Pairs {
 			ps[i] = record.Pair{A: ab[0], B: ab[1]}
 		}
 		recs = append(recs, ps)
+		if rec.HITs > hits {
+			hits = rec.HITs
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return labels, len(recs), fmt.Errorf("runsvc: replay batches: %w", err)
 	}
 	r.QueueReplayBatches(recs)
+	r.RestoreHITs(hits)
 	return labels, len(recs), nil
 }
 

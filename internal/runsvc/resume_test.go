@@ -3,6 +3,8 @@ package runsvc
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -219,18 +221,16 @@ func TestKillAndResume(t *testing.T) {
 		}
 	}
 
-	// Total spend conservation: crash-journaled answers plus resumed-run
-	// answers equals the uninterrupted run's spend — nothing re-paid,
-	// nothing skipped.
-	if got := journalAnswers + res2.Accounting.Answers; got != base.Accounting.Answers {
-		t.Errorf("journal %d + resumed %d = %d answers, uninterrupted run = %d",
-			journalAnswers, res2.Accounting.Answers, got, base.Accounting.Answers)
+	// Total spend conservation: replay restores the crash-journaled
+	// accounting, so the resumed run's cumulative spend equals the
+	// uninterrupted run's exactly — nothing re-paid, nothing skipped, and
+	// a budget cap would bite at the same cumulative dollar. The crowd
+	// itself is only asked the difference.
+	if res2.Accounting != base.Accounting {
+		t.Errorf("resumed accounting %+v != uninterrupted %+v", res2.Accounting, base.Accounting)
 	}
-	if counting.total != res2.Accounting.Answers {
-		t.Errorf("crowd saw %d answers, accounting says %d", counting.total, res2.Accounting.Answers)
-	}
-	if res2.Accounting.Pairs != base.Accounting.Pairs {
-		t.Errorf("resumed Pairs = %d, baseline = %d", res2.Accounting.Pairs, base.Accounting.Pairs)
+	if got := res2.Accounting.Answers - journalAnswers; counting.total != got {
+		t.Errorf("crowd saw %d answers on resume, accounting delta says %d", counting.total, got)
 	}
 
 	// Identical final result.
@@ -314,6 +314,281 @@ func TestResumeFromSpecJSON(t *testing.T) {
 	}
 	if !sawReplay {
 		t.Error("resumed job published no replay event")
+	}
+}
+
+// TestBudgetEnforcedAcrossResume pins the real-money property behind label
+// replay's accounting restore: a budget caps a job's cumulative spend, not
+// per-process spend. A budgeted job killed mid-run and resumed must stop at
+// the same cumulative dollar — and the same result — as the uninterrupted
+// budgeted run, instead of granting itself a fresh budget on every resume.
+func TestBudgetEnforcedAcrossResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("budget resume test in -short mode")
+	}
+	// Find the unbudgeted spend, then budget well below it so the budget —
+	// not convergence — is what stops the run.
+	free := testMeta(7, 0.2, 0)
+	unbounded := serialRun(t, free)
+
+	meta := free
+	meta.Budget = unbounded.Accounting.Cost * 0.6
+	const crashAfter = 2
+
+	spec, err := BuildSpec(meta)
+	if err != nil {
+		t.Fatalf("BuildSpec: %v", err)
+	}
+	runner := crowd.NewRunner(spec.Crowd, spec.Config.PricePerQuestion)
+	batches := 0
+	runner.OnBatch = func([]crowd.Labeled) { batches++ }
+	cfg := spec.Config
+	cfg.Runner = runner
+	base, err := engine.Run(spec.Dataset, spec.Crowd, cfg)
+	if err != nil {
+		t.Fatalf("budgeted baseline: %v", err)
+	}
+	if base.StopReason != "budget exhausted" {
+		t.Fatalf("budgeted baseline stopped for %q, want budget exhausted", base.StopReason)
+	}
+	if batches <= crashAfter {
+		t.Fatalf("budgeted baseline posted %d batches; crash after %d would not land mid-run",
+			batches, crashAfter)
+	}
+
+	dir := t.TempDir()
+	m1, err := NewManager(Options{Workers: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	m1.testCrashAfterBatches = crashAfter
+	j1, err := m1.Submit(Spec{Meta: &meta})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	j1.Wait()
+	m1.Close()
+	if j1.State() != StateCrashed {
+		t.Fatalf("state = %s, want crashed", j1.State())
+	}
+
+	m2, err := NewManager(Options{Workers: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m2.Close()
+	j2, err := m2.Resume(j1.ID)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	res, err := j2.Wait()
+	if err != nil || j2.State() != StateDone {
+		t.Fatalf("resumed job: state %s, err %v", j2.State(), err)
+	}
+	if res.StopReason != "budget exhausted" {
+		t.Errorf("resumed run stopped for %q, want budget exhausted", res.StopReason)
+	}
+	// Cumulative spend matches the uninterrupted budgeted run exactly: the
+	// crash-journaled dollars counted against the budget on resume.
+	if res.Accounting != base.Accounting {
+		t.Errorf("resumed accounting %+v != budgeted baseline %+v — budget not cumulative across resume",
+			res.Accounting, base.Accounting)
+	}
+	if res.True.F1 != base.True.F1 || res.Iterations != base.Iterations {
+		t.Errorf("resumed F1 %.4f/%d iters, baseline %.4f/%d",
+			res.True.F1, res.Iterations, base.True.F1, base.Iterations)
+	}
+}
+
+// TestSpecJournaledAtSubmit verifies the submission contract Close's doc
+// relies on: the spec record hits the journal at Submit, before any
+// executor touches the job, so a job still queued at shutdown is resumable
+// by a fresh process from the journal alone.
+func TestSpecJournaledAtSubmit(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	// A manager with no worker goroutines: submitted jobs queue forever,
+	// exactly like a job still queued when the process dies.
+	m := &Manager{
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, 4),
+		quit:  make(chan struct{}),
+		store: store,
+	}
+	meta := testMeta(3, 0.1, 0)
+	j, err := m.Submit(Spec{Meta: &meta})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if j.State() != StateQueued {
+		t.Fatalf("state = %s, want queued", j.State())
+	}
+	if !store.Exists(j.ID) {
+		t.Fatalf("no journal for queued job %s; store has %v", j.ID, store.List())
+	}
+	jl, err := store.Open(j.ID)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	rec, err := jl.ReadSpec()
+	jl.Close()
+	if err != nil {
+		t.Fatalf("queued job's spec not readable: %v", err)
+	}
+	if rec.Meta == nil || *rec.Meta != meta {
+		t.Fatalf("journaled spec = %+v, want meta %+v", rec, meta)
+	}
+
+	// The "fresh process": a real manager over the same directory resumes
+	// the never-started job from its spec record and runs it to completion.
+	m2, err := NewManager(Options{Workers: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m2.Close()
+	j2, err := m2.Resume(j.ID)
+	if err != nil {
+		t.Fatalf("Resume of queued-at-shutdown job: %v", err)
+	}
+	res, err := j2.Wait()
+	if err != nil || j2.State() != StateDone {
+		t.Fatalf("resumed job: state %s, err %v", j2.State(), err)
+	}
+	want := serialRun(t, meta)
+	if res.Accounting != want.Accounting || res.True.F1 != want.True.F1 {
+		t.Errorf("resumed-from-queue result %+v/%.4f, serial %+v/%.4f",
+			res.Accounting, res.True.F1, want.Accounting, want.True.F1)
+	}
+}
+
+// TestStoreOpenRepairsTornTail corrupts journal files the way a hard kill
+// does — a partial trailing line — and verifies Store.Open truncates the
+// tear so replay succeeds on every intact line.
+func TestStoreOpenRepairsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	jl, err := store.Open("torn")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	jl.Close()
+
+	labels := `{"a":0,"b":0,"answers":[true,true],"label":true,"settled":1}` + "\n" +
+		`{"a":1,"b":1,"answers":[tru` // torn mid-write
+	batches := `{"p":[[0,0]],"hits":1}` + "\n" + `{"p":[[1,` // torn mid-write
+	jdir := filepath.Join(dir, "torn")
+	if err := os.WriteFile(filepath.Join(jdir, "labels.jsonl"), []byte(labels), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jdir, "batches.jsonl"), []byte(batches), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jl, err = store.Open("torn")
+	if err != nil {
+		t.Fatalf("reopen with torn tails: %v", err)
+	}
+	defer jl.Close()
+	for _, name := range []string{"labels.jsonl", "batches.jsonl"} {
+		buf, err := os.ReadFile(filepath.Join(jdir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) == 0 || buf[len(buf)-1] != '\n' {
+			t.Errorf("%s still ends mid-line after Open: %q", name, buf)
+		}
+	}
+	r := crowd.NewRunner(nil, 0.01)
+	nl, nb, err := jl.Replay(r)
+	if err != nil {
+		t.Fatalf("replay after repair: %v", err)
+	}
+	if nl != 1 || nb != 1 {
+		t.Errorf("replayed %d labels, %d batches; want 1 and 1", nl, nb)
+	}
+	if _, ok := r.Cached(record.P(0, 0), crowd.PolicyStrong); !ok {
+		t.Error("intact label before the tear was lost")
+	}
+	if st := r.Stats(); st.Answers != 2 || st.HITs != 1 {
+		t.Errorf("restored accounting %+v, want 2 answers and 1 HIT", st)
+	}
+}
+
+// TestQueueFullRollback pins enqueue's failure paths: a rejected new
+// submission leaves no trace (no job record, no journal directory), and a
+// rejected resume leaves the prior terminal job's record — and its journal —
+// exactly as they were.
+func TestQueueFullRollback(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	// No workers and a one-slot queue, so the second enqueue always bounces.
+	m := &Manager{
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, 1),
+		quit:  make(chan struct{}),
+		store: store,
+	}
+	meta := testMeta(1, 0.1, 0)
+	a, err := m.Submit(Spec{Meta: &meta})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := m.Submit(Spec{Meta: &meta}); err == nil {
+		t.Fatal("submit into a full queue succeeded")
+	}
+	if got := m.Jobs(); len(got) != 1 || got[0] != a {
+		t.Fatalf("after rejected submit, Jobs() = %v, want just %s", got, a.ID)
+	}
+	if got := store.List(); len(got) != 1 || got[0] != a.ID {
+		t.Fatalf("rejected submission left a journal: store has %v", got)
+	}
+
+	// Resume path: a terminal job with an existing journal. The rejected
+	// resume must restore the prior record, not delete it or its journal.
+	prev := &Job{
+		ID:     "old-0001",
+		state:  StateDone,
+		cancel: make(chan struct{}),
+		done:   make(chan struct{}),
+		events: newBroker(),
+	}
+	m.mu.Lock()
+	m.jobs[prev.ID] = prev
+	m.order = append(m.order, prev.ID)
+	m.mu.Unlock()
+	jl, err := store.Open(prev.ID)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := jl.WriteSpec("old", &meta); err != nil {
+		t.Fatalf("WriteSpec: %v", err)
+	}
+	jl.Close()
+
+	if _, err := m.ResumeSpec(prev.ID, Spec{Meta: &meta}); err == nil {
+		t.Fatal("resume into a full queue succeeded")
+	}
+	got, ok := m.Job(prev.ID)
+	if !ok || got != prev {
+		t.Fatalf("rejected resume erased the prior job record: got %v, %v", got, ok)
+	}
+	if got.State() != StateDone {
+		t.Fatalf("prior job state = %s, want done", got.State())
+	}
+	if !store.Exists(prev.ID) {
+		t.Fatal("rejected resume deleted the prior job's journal")
+	}
+	if got := m.Jobs(); len(got) != 2 {
+		t.Fatalf("order list corrupted by rejected resume: %v", got)
 	}
 }
 

@@ -111,8 +111,10 @@ func (m *Manager) worker() {
 }
 
 // Close stops accepting jobs and waits for running executors to finish
-// their current job. Queued jobs stay queued (and journaled, if a store is
-// configured — a fresh manager can resume them).
+// their current job. Queued jobs never start; when a store is configured
+// their spec records were already journaled at submission, so a fresh
+// manager can resume Meta-carrying jobs by id (library jobs without a Meta
+// need ResumeSpec).
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -193,7 +195,10 @@ func (m *Manager) resumeSpec(id string, spec Spec) (*Job, error) {
 }
 
 // enqueue registers the job and hands it to the pool. id is empty for new
-// submissions (one is allocated) and fixed for resumes.
+// submissions (one is allocated) and fixed for resumes. When a store is
+// configured, a new submission's spec record is journaled here, before the
+// job ever runs, so a job still queued at shutdown is resumable by a fresh
+// process.
 func (m *Manager) enqueue(spec Spec, id string, resume bool) (*Job, error) {
 	m.mu.Lock()
 	if m.closed {
@@ -219,26 +224,55 @@ func (m *Manager) enqueue(spec Spec, id string, resume bool) (*Job, error) {
 		done:   make(chan struct{}),
 		events: newBroker(),
 	}
-	if _, ok := m.jobs[id]; !ok {
+	prev, existed := m.jobs[id]
+	if !existed {
 		m.order = append(m.order, id)
 	}
 	m.jobs[id] = j
 	m.mu.Unlock()
+
+	// rollback undoes the registration: a resume attempt that fails must
+	// leave the prior (terminal) job's record visible, not erase it.
+	rollback := func() {
+		m.mu.Lock()
+		if existed {
+			m.jobs[id] = prev
+		} else {
+			delete(m.jobs, id)
+			for i, oid := range m.order {
+				if oid == id {
+					m.order = append(m.order[:i], m.order[i+1:]...)
+					break
+				}
+			}
+		}
+		m.mu.Unlock()
+	}
+
+	if m.store != nil && !resume {
+		// Journal the spec now: queued jobs must survive a shutdown. The id
+		// allocation above guarantees the directory is fresh, so rollback
+		// may remove it wholesale.
+		jl, err := m.store.Open(id)
+		if err == nil {
+			err = jl.WriteSpec(spec.Name, spec.Meta)
+			jl.Close()
+		}
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("runsvc: journal spec for %s: %w", id, err)
+		}
+	}
 
 	j.publishState(StateQueued, "")
 	select {
 	case m.queue <- j:
 		return j, nil
 	default:
-		m.mu.Lock()
-		delete(m.jobs, id)
-		for i, oid := range m.order {
-			if oid == id {
-				m.order = append(m.order[:i], m.order[i+1:]...)
-				break
-			}
+		rollback()
+		if m.store != nil && !resume {
+			_ = m.store.Remove(id)
 		}
-		m.mu.Unlock()
 		return nil, fmt.Errorf("runsvc: queue full")
 	}
 }
