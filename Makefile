@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench
+.PHONY: build test verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -15,5 +15,11 @@ test:
 verify:
 	sh scripts/verify.sh
 
+# Hot-path benchmarks -> BENCH_PR2.json (ns/op, allocs, speedup pairs).
+# `bench` takes minutes and gives stable numbers; `bench-smoke` runs every
+# benchmark once so CI can prove the harness works in seconds.
 bench:
-	$(GO) test -bench . -benchmem ./...
+	sh scripts/bench.sh full
+
+bench-smoke:
+	sh scripts/bench.sh smoke

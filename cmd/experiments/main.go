@@ -13,12 +13,16 @@
 //	experiments -scale 0.05      # shrink the large datasets further
 //	experiments -error 0.1       # crowd error rate
 //	experiments -seed 7
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                             # grab pprof data from any run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/corleone-em/corleone/internal/experiments"
 )
@@ -30,7 +34,37 @@ func main() {
 	scale := flag.Float64("scale", 0, "override scale for Citations/Products (0 = defaults)")
 	errRate := flag.Float64("error", experiments.DefaultErrorRate, "simulated crowd error rate")
 	seed := flag.Int64("seed", 11, "random seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
 
 	setups := makeSetups(*scale, *errRate, *seed)
 

@@ -11,6 +11,7 @@ import (
 
 	"github.com/corleone-em/corleone/internal/crowd"
 	"github.com/corleone-em/corleone/internal/forest"
+	"github.com/corleone-em/corleone/internal/par"
 	"github.com/corleone-em/corleone/internal/record"
 	"github.com/corleone-em/corleone/internal/stats"
 )
@@ -316,16 +317,25 @@ func selectBatch(rng *rand.Rand, f *forest.Forest, X [][]float64,
 		return out
 	}
 
+	// Collect the eligible pool serially (cheap, preserves index order),
+	// then score it in parallel: each candidate's entropy is independent
+	// and lands at its own slot, so the ranking input is identical to the
+	// serial loop's.
 	var pool []cand
 	for i := range X {
 		if consumed[i] || inMonitor[i] {
 			continue
 		}
-		pool = append(pool, cand{idx: i, entropy: f.Entropy(X[i])})
+		pool = append(pool, cand{idx: i})
 	}
 	if len(pool) == 0 {
 		return nil
 	}
+	par.For(len(pool), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			pool[k].entropy = f.Entropy(X[pool[k].idx])
+		}
+	})
 	// Top p by entropy. Partial selection sort is fine at p=100.
 	p := cfg.PoolP
 	if p > len(pool) {

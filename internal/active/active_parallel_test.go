@@ -1,0 +1,42 @@
+package active
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+)
+
+// TestLearnIndependentOfParallelism pins the deterministic-parallelism
+// contract end to end: the same Learn call must produce bit-identical
+// confidences, training sets, and model selection whether the forest
+// training and pool scoring run on one core or many.
+func TestLearnIndependentOfParallelism(t *testing.T) {
+	run := func() (*Result, error) {
+		pairs, X, seeds, seedX, truth := pool(3000, 0.05, 13)
+		runner := crowd.NewRunner(crowd.NewSimulated(truth, 0.05, 17), 0.01)
+		cfg := Defaults()
+		cfg.Seed = 5
+		cfg.MaxIterations = 12
+		return Learn(runner, pairs, X, seeds, seedX, cfg)
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial, errS := run()
+	runtime.GOMAXPROCS(prev)
+	parallel, errP := run()
+
+	if errS != nil || errP != nil {
+		t.Fatalf("errors: serial=%v parallel=%v", errS, errP)
+	}
+	if !reflect.DeepEqual(serial.Trace, parallel.Trace) {
+		t.Errorf("traces differ:\nserial:   %+v\nparallel: %+v", serial.Trace, parallel.Trace)
+	}
+	if !reflect.DeepEqual(serial.Training, parallel.Training) {
+		t.Error("training sets differ between serial and parallel runs")
+	}
+	if !reflect.DeepEqual(serial.Forest.Trees, parallel.Forest.Trees) {
+		t.Error("selected forests differ between serial and parallel runs")
+	}
+}

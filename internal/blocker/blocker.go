@@ -18,6 +18,7 @@ import (
 	"github.com/corleone-em/corleone/internal/feature"
 	"github.com/corleone-em/corleone/internal/record"
 	"github.com/corleone-em/corleone/internal/ruleeval"
+	"github.com/corleone-em/corleone/internal/similarity"
 	"github.com/corleone-em/corleone/internal/tree"
 )
 
@@ -392,6 +393,7 @@ func applyRules(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule) []
 			defer wg.Done()
 			vals := make([]float64, nf)
 			have := make([]bool, nf)
+			scratch := similarity.NewScratch()
 			var out []record.Pair
 			for a := lo; a < hi; a++ {
 				for b := 0; b < nb; b++ {
@@ -401,7 +403,7 @@ func applyRules(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule) []
 					}
 					get := func(f int) float64 {
 						if !have[f] {
-							vals[f] = ex.Compute(f, p)
+							vals[f] = ex.ComputeScratch(f, p, scratch)
 							have[f] = true
 						}
 						return vals[f]

@@ -4,15 +4,21 @@
 // type. The library also carries a per-feature cost model used by the
 // Blocker's greedy rule selection (§4.3), and supports lazy single-feature
 // evaluation so blocking rules can short-circuit over A×B.
+//
+// The extractor precomputes a similarity.Profile for every (record,
+// attribute) cell of both tables at construction: tokenization, rune
+// decoding, q-gram counting, TF/IDF weighing, and numeric parsing happen
+// once per record instead of once per comparison, so the pair-scan inner
+// loop — the O(|A|·|B|) hot path — is arithmetic over prebuilt structures.
+// The string-based path is retained as the reference implementation; the
+// profile path is bit-identical to it (enforced by tests).
 package feature
 
 import (
 	"fmt"
-	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 
+	"github.com/corleone-em/corleone/internal/par"
 	"github.com/corleone-em/corleone/internal/record"
 	"github.com/corleone-em/corleone/internal/similarity"
 	"github.com/corleone-em/corleone/internal/strutil"
@@ -22,6 +28,10 @@ import (
 // absent. It sits below every genuine similarity (which live in [0, 1]) so
 // decision-tree thresholds can route missing values down their own branch.
 const Missing = -1.0
+
+// profileFn is a similarity measure over precomputed profiles. The scratch
+// carries reusable DP buffers; one scratch serves one goroutine.
+type profileFn func(a, b *similarity.Profile, s *similarity.Scratch) float64
 
 // Feature is one column of the feature vector: a similarity measure bound
 // to an attribute.
@@ -38,26 +48,38 @@ type Feature struct {
 	// the Blocker prefers cheap rules all else equal (§4.3).
 	Cost float64
 
-	fn func(a, b string) float64
+	fn  func(a, b string) float64
+	pfn profileFn
 }
 
 // Extractor binds a feature library to a dataset and computes vectors.
+// Construction precomputes per-record profiles for both tables; Compute,
+// Vector, and Vectors all route through them.
 type Extractor struct {
 	A, B     *record.Table
 	features []Feature
+	// profA[attrIdx][row] / profB[attrIdx][row] are the precomputed
+	// profiles; entries are nil for attributes without features.
+	profA, profB [][]*similarity.Profile
+	// scratch pools per-goroutine DP buffers for callers that do not
+	// thread their own (single Compute/Vector calls).
+	scratch sync.Pool
 }
 
-// measure couples a similarity function with its name and cost.
+// measure couples a similarity function with its name, cost, profile fast
+// path, and the profile fields that fast path needs.
 type measure struct {
-	kind string
-	cost float64
-	fn   func(a, b string) float64
+	kind   string
+	cost   float64
+	fn     func(a, b string) float64
+	pfn    profileFn
+	fields similarity.Fields
 }
 
 func numericWrap(f func(x, y float64) float64) func(a, b string) float64 {
 	return func(a, b string) float64 {
-		x, okx := parseNumeric(a)
-		y, oky := parseNumeric(b)
+		x, okx := strutil.ParseNumeric(a)
+		y, oky := strutil.ParseNumeric(b)
 		if !okx || !oky {
 			return Missing
 		}
@@ -65,59 +87,81 @@ func numericWrap(f func(x, y float64) float64) func(a, b string) float64 {
 	}
 }
 
-func parseNumeric(s string) (float64, bool) {
-	s = strings.TrimSpace(s)
-	s = strings.TrimPrefix(s, "$")
-	s = strings.ReplaceAll(s, ",", "")
-	if !strutil.IsNumericString(s) {
-		return 0, false
+// numericWrapP mirrors numericWrap over profiles: the parse happened at
+// profile-build time.
+func numericWrapP(f func(x, y float64) float64) profileFn {
+	return func(a, b *similarity.Profile, _ *similarity.Scratch) float64 {
+		if !a.NumericOK || !b.NumericOK {
+			return Missing
+		}
+		return f(a.Numeric, b.Numeric)
 	}
-	f, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return 0, false
-	}
-	return f, true
 }
 
-// NewExtractor builds the feature library for the dataset's schema. Text
+// NewExtractor builds the feature library for the dataset's schema and
+// precomputes both tables' profiles (in parallel across rows). Text
 // attributes get TF/IDF features backed by a corpus built from the values of
 // that attribute across both tables, mirroring how EM systems fit IDF on the
 // data being matched.
 func NewExtractor(ds *record.Dataset) *Extractor {
-	e := &Extractor{A: ds.A, B: ds.B}
+	e := &Extractor{
+		A:     ds.A,
+		B:     ds.B,
+		profA: make([][]*similarity.Profile, len(ds.A.Schema)),
+		profB: make([][]*similarity.Profile, len(ds.A.Schema)),
+	}
+	e.scratch.New = func() any { return similarity.NewScratch() }
 	for idx, attr := range ds.A.Schema {
 		var ms []measure
+		var corpus *similarity.Corpus
 		switch attr.Type {
 		case record.AttrString:
 			ms = []measure{
-				{"exact", 1, similarity.ExactMatch},
-				{"jaro_winkler", 2, normWrap(similarity.JaroWinkler)},
-				{"edit", 5, normWrap(similarity.EditSim)},
-				{"jaccard_w", 3, normWrap(similarity.JaccardWords)},
-				{"jaccard_3g", 4, normWrap(similarity.JaccardQGrams)},
-				{"monge_elkan", 8, normWrap(similarity.MongeElkan)},
+				{"exact", 1, similarity.ExactMatch, exactP, 0},
+				{"jaro_winkler", 2, normWrap(similarity.JaroWinkler),
+					normWrapP(similarity.JaroWinklerProfiles), similarity.FieldRunes},
+				{"edit", 5, normWrap(similarity.EditSim),
+					normWrapP(similarity.EditSimProfiles), similarity.FieldRunes},
+				{"jaccard_w", 3, normWrap(similarity.JaccardWords),
+					normWrapP(noScratch(similarity.JaccardWordsProfiles)), similarity.FieldWordSet},
+				{"jaccard_3g", 4, normWrap(similarity.JaccardQGrams),
+					normWrapP(noScratch(similarity.JaccardQGramsProfiles)), similarity.FieldQGrams},
+				{"monge_elkan", 8, normWrap(similarity.MongeElkan),
+					normWrapP(similarity.MongeElkanProfiles), similarity.FieldTokenRunes},
 			}
 		case record.AttrText:
-			corpus := buildCorpus(ds, idx)
+			corpus = buildCorpus(ds, idx)
 			ms = []measure{
-				{"jaccard_w", 3, normWrap(similarity.JaccardWords)},
-				{"overlap_w", 3, normWrap(similarity.OverlapWords)},
-				{"tfidf_cos", 4, normWrap(corpus.Cosine)},
+				{"jaccard_w", 3, normWrap(similarity.JaccardWords),
+					normWrapP(noScratch(similarity.JaccardWordsProfiles)), similarity.FieldWordSet},
+				{"overlap_w", 3, normWrap(similarity.OverlapWords),
+					normWrapP(noScratch(similarity.OverlapWordsProfiles)), similarity.FieldWordSet},
+				{"tfidf_cos", 4, normWrap(corpus.Cosine),
+					normWrapP(noScratch(corpus.CosineProfiles)), similarity.FieldWordSet},
 			}
 		case record.AttrNumeric:
 			ms = []measure{
-				{"exact", 1, similarity.ExactMatch},
-				{"rel_diff", 1, numericWrap(similarity.RelativeDiff)},
-				{"abs_diff", 1, numericWrap(similarity.AbsDiff)},
+				{"exact", 1, similarity.ExactMatch, exactP, 0},
+				{"rel_diff", 1, numericWrap(similarity.RelativeDiff),
+					numericWrapP(similarity.RelativeDiff), similarity.FieldNumeric},
+				{"abs_diff", 1, numericWrap(similarity.AbsDiff),
+					numericWrapP(similarity.AbsDiff), similarity.FieldNumeric},
 			}
 		case record.AttrCategorical:
 			ms = []measure{
-				{"exact", 1, similarity.ExactMatch},
-				{"jaccard_3g", 4, normWrap(similarity.JaccardQGrams)},
-				{"jaro_winkler", 2, normWrap(similarity.JaroWinkler)},
+				{"exact", 1, similarity.ExactMatch, exactP, 0},
+				{"jaccard_3g", 4, normWrap(similarity.JaccardQGrams),
+					normWrapP(noScratch(similarity.JaccardQGramsProfiles)), similarity.FieldQGrams},
+				{"jaro_winkler", 2, normWrap(similarity.JaroWinkler),
+					normWrapP(similarity.JaroWinklerProfiles), similarity.FieldRunes},
 			}
 		}
+		if len(ms) == 0 {
+			continue
+		}
+		var fields similarity.Fields
 		for _, m := range ms {
+			fields |= m.fields
 			e.features = append(e.features, Feature{
 				Name:    fmt.Sprintf("%s_%s", attr.Name, m.kind),
 				Attr:    attr.Name,
@@ -125,10 +169,45 @@ func NewExtractor(ds *record.Dataset) *Extractor {
 				Kind:    m.kind,
 				Cost:    m.cost,
 				fn:      m.fn,
+				pfn:     m.pfn,
 			})
 		}
+		e.profA[idx] = buildProfiles(ds.A, idx, fields, corpus)
+		e.profB[idx] = buildProfiles(ds.B, idx, fields, corpus)
 	}
 	return e
+}
+
+// buildProfiles precomputes the profiles of one attribute column, fanned
+// out across rows; corpus (non-nil for text attributes) attaches the
+// TF/IDF-weighted vector.
+func buildProfiles(t *record.Table, attrIdx int, fields similarity.Fields,
+	corpus *similarity.Corpus) []*similarity.Profile {
+
+	out := make([]*similarity.Profile, t.Len())
+	par.For(t.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := similarity.NewProfile(t.Rows[i][attrIdx], fields)
+			if corpus != nil {
+				corpus.WeighProfile(p)
+			}
+			out[i] = p
+		}
+	})
+	return out
+}
+
+// exactP adapts ExactMatchProfiles to the profileFn shape (no scratch, no
+// normWrap: exact match defines its own missing-value semantics).
+func exactP(a, b *similarity.Profile, _ *similarity.Scratch) float64 {
+	return similarity.ExactMatchProfiles(a, b)
+}
+
+// noScratch adapts scratch-free profile measures to the profileFn shape.
+func noScratch(f func(a, b *similarity.Profile) float64) profileFn {
+	return func(a, b *similarity.Profile, _ *similarity.Scratch) float64 {
+		return f(a, b)
+	}
 }
 
 // normWrap normalizes inputs and maps missing values to the Missing
@@ -140,6 +219,17 @@ func normWrap(f func(a, b string) float64) func(a, b string) float64 {
 			return Missing
 		}
 		return f(na, nb)
+	}
+}
+
+// normWrapP mirrors normWrap over profiles: normalization happened at
+// profile-build time, so only the missing-value gate remains.
+func normWrapP(f profileFn) profileFn {
+	return func(a, b *similarity.Profile, s *similarity.Scratch) float64 {
+		if a.Norm == "" || b.Norm == "" {
+			return Missing
+		}
+		return f(a, b, s)
 	}
 }
 
@@ -175,56 +265,69 @@ func (e *Extractor) Name(i int) string { return e.features[i].Name }
 // Cost returns the compute cost of feature i.
 func (e *Extractor) Cost(i int) float64 { return e.features[i].Cost }
 
-// Compute evaluates a single feature for pair p. This is the lazy path the
-// Blocker uses when applying rules to A×B: only the features a rule actually
-// references are computed.
+// Compute evaluates a single feature for pair p via the profile fast path.
+// This is the lazy path the Blocker uses when applying rules to A×B: only
+// the features a rule actually references are computed.
 func (e *Extractor) Compute(i int, p record.Pair) float64 {
+	s := e.scratch.Get().(*similarity.Scratch)
+	v := e.ComputeScratch(i, p, s)
+	e.scratch.Put(s)
+	return v
+}
+
+// ComputeScratch evaluates a single feature with a caller-owned scratch —
+// the form the parallel scan loops use, one scratch per worker.
+func (e *Extractor) ComputeScratch(i int, p record.Pair, s *similarity.Scratch) float64 {
+	f := &e.features[i]
+	return f.pfn(e.profA[f.AttrIdx][p.A], e.profB[f.AttrIdx][p.B], s)
+}
+
+// ComputeString evaluates a single feature from the raw strings — the
+// reference path the profile fast path is verified against (and the
+// before/after baseline for the benchmarks).
+func (e *Extractor) ComputeString(i int, p record.Pair) float64 {
 	f := &e.features[i]
 	return f.fn(e.A.Rows[p.A][f.AttrIdx], e.B.Rows[p.B][f.AttrIdx])
 }
 
 // Vector computes the full feature vector for pair p.
 func (e *Extractor) Vector(p record.Pair) []float64 {
+	s := e.scratch.Get().(*similarity.Scratch)
+	v := e.VectorScratch(p, s)
+	e.scratch.Put(s)
+	return v
+}
+
+// VectorScratch computes the full feature vector with a caller-owned
+// scratch.
+func (e *Extractor) VectorScratch(p record.Pair, s *similarity.Scratch) []float64 {
 	v := make([]float64, len(e.features))
 	for i := range e.features {
-		v[i] = e.Compute(i, p)
+		v[i] = e.ComputeScratch(i, p, s)
+	}
+	return v
+}
+
+// VectorString computes the full feature vector via the string-based
+// reference path.
+func (e *Extractor) VectorString(p record.Pair) []float64 {
+	v := make([]float64, len(e.features))
+	for i := range e.features {
+		v[i] = e.ComputeString(i, p)
 	}
 	return v
 }
 
 // Vectors computes feature vectors for all pairs, fanning out across
-// GOMAXPROCS goroutines. Order matches the input order.
+// GOMAXPROCS goroutines with one scratch per worker. Order matches the
+// input order.
 func (e *Extractor) Vectors(pairs []record.Pair) [][]float64 {
 	out := make([][]float64, len(pairs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
-	if workers <= 1 {
-		for i, p := range pairs {
-			out[i] = e.Vector(p)
+	par.For(len(pairs), func(lo, hi int) {
+		s := similarity.NewScratch()
+		for i := lo; i < hi; i++ {
+			out[i] = e.VectorScratch(pairs[i], s)
 		}
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (len(pairs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = e.Vector(pairs[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }

@@ -1,0 +1,59 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/datagen"
+	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/similarity"
+)
+
+// TestProfilePathMatchesStringPath verifies that the profile-routed hot path
+// (Compute/ComputeScratch/Vector/Vectors) produces vectors bit-identical to
+// the retained string reference path (VectorString) — on the handcrafted
+// edge-case dataset and on realistic generated data from every synthetic
+// dataset family.
+func TestProfilePathMatchesStringPath(t *testing.T) {
+	datasets := []*record.Dataset{
+		testDataset(),
+		datagen.Generate(datagen.Scaled(datagen.ProductsPaper, 0.02)),
+		datagen.Generate(datagen.Scaled(datagen.CitationsPaper, 0.02)),
+		datagen.Generate(datagen.Scaled(datagen.RestaurantsPaper, 0.2)),
+	}
+	for _, ds := range datasets {
+		ex := NewExtractor(ds)
+		rng := rand.New(rand.NewSource(3))
+		var pairs []record.Pair
+		for i := 0; i < 200; i++ {
+			pairs = append(pairs, record.P(rng.Intn(ds.A.Len()), rng.Intn(ds.B.Len())))
+		}
+		scratch := similarity.NewScratch()
+		rows := ex.Vectors(pairs)
+		for i, p := range pairs {
+			want := ex.VectorString(p)
+			got := ex.Vector(p)
+			gotScratch := ex.VectorScratch(p, scratch)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%s: Vector(%v)[%s] = %v, string path = %v",
+						ds.Name, p, ex.Name(j), got[j], want[j])
+				}
+				if gotScratch[j] != want[j] {
+					t.Fatalf("%s: VectorScratch(%v)[%s] = %v, string path = %v",
+						ds.Name, p, ex.Name(j), gotScratch[j], want[j])
+				}
+				if rows[i][j] != want[j] {
+					t.Fatalf("%s: Vectors row %d [%s] = %v, string path = %v",
+						ds.Name, i, ex.Name(j), rows[i][j], want[j])
+				}
+			}
+			for j := range want {
+				if c := ex.Compute(j, p); c != want[j] {
+					t.Fatalf("%s: Compute(%s, %v) = %v, string path = %v",
+						ds.Name, ex.Name(j), p, c, want[j])
+				}
+			}
+		}
+	}
+}

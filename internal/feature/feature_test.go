@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/strutil"
 )
 
 func testDataset() *record.Dataset {
@@ -161,9 +162,9 @@ func TestParseNumeric(t *testing.T) {
 		{"abc", 0, false},
 	}
 	for _, c := range cases {
-		got, ok := parseNumeric(c.in)
+		got, ok := strutil.ParseNumeric(c.in)
 		if ok != c.ok || (ok && got != c.want) {
-			t.Errorf("parseNumeric(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+			t.Errorf("ParseNumeric(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"github.com/corleone-em/corleone/internal/par"
 	"github.com/corleone-em/corleone/internal/stats"
 	"github.com/corleone-em/corleone/internal/tree"
 )
@@ -86,16 +87,28 @@ func Train(X [][]float64, y []bool, cfg Config) *Forest {
 	if bag < 1 {
 		bag = 1
 	}
-	for t := 0; t < cfg.NumTrees; t++ {
-		treeRng := rand.New(rand.NewSource(rng.Int63()))
-		idx := stats.SampleIndices(treeRng, len(X), bag)
-		f.Trees = append(f.Trees, tree.Grow(X, y, idx, tree.Config{
-			MaxDepth:         cfg.MaxDepth,
-			MinLeaf:          cfg.MinLeaf,
-			FeaturesPerSplit: m,
-			Rand:             treeRng,
-		}))
+	// Per-tree seeds are drawn serially up front from the forest RNG — the
+	// t-th tree gets the t-th Int63, exactly as the serial loop did — so the
+	// trees can then grow concurrently (each on its own RNG, written to its
+	// own index) while the grown forest stays bit-identical to the serial
+	// output for a given cfg.Seed.
+	seeds := make([]int64, cfg.NumTrees)
+	for t := range seeds {
+		seeds[t] = rng.Int63()
 	}
+	f.Trees = make([]*tree.Tree, cfg.NumTrees)
+	par.For(cfg.NumTrees, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			treeRng := rand.New(rand.NewSource(seeds[t]))
+			idx := stats.SampleIndices(treeRng, len(X), bag)
+			f.Trees[t] = tree.Grow(X, y, idx, tree.Config{
+				MaxDepth:         cfg.MaxDepth,
+				MinLeaf:          cfg.MinLeaf,
+				FeaturesPerSplit: m,
+				Rand:             treeRng,
+			})
+		}
+	})
 	return f
 }
 
@@ -139,14 +152,40 @@ func (f *Forest) Confidence(v []float64) float64 {
 	return 1 - f.Entropy(v)
 }
 
+// Confidences returns conf(e) for every vector, computed in parallel (each
+// element is independent and lands at its own index).
+func (f *Forest) Confidences(V [][]float64) []float64 {
+	out := make([]float64, len(V))
+	par.For(len(V), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.Confidence(V[i])
+		}
+	})
+	return out
+}
+
+// Entropies returns Entropy(e) for every vector, computed in parallel.
+// Active learning uses it to rank the unlabeled pool each iteration.
+func (f *Forest) Entropies(V [][]float64) []float64 {
+	out := make([]float64, len(V))
+	par.For(len(V), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.Entropy(V[i])
+		}
+	})
+	return out
+}
+
 // MeanConfidence returns conf(V) averaged over a monitoring set (§5.3).
+// Per-example confidences are computed in parallel, then summed serially in
+// index order so the floating-point result is identical to the serial loop.
 func (f *Forest) MeanConfidence(V [][]float64) float64 {
 	if len(V) == 0 {
 		return 1
 	}
 	sum := 0.0
-	for _, v := range V {
-		sum += f.Confidence(v)
+	for _, c := range f.Confidences(V) {
+		sum += c
 	}
 	return sum / float64(len(V))
 }

@@ -1,0 +1,44 @@
+package forest
+
+import "testing"
+
+var sinkForest *Forest
+
+// BenchmarkTrainSerial measures the pre-parallelization reference: trees
+// grown one after another.
+func BenchmarkTrainSerial(b *testing.B) {
+	X, y := randomTraining(3, 2000, 15)
+	cfg := Defaults()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkForest = trainSerial(X, y, cfg)
+	}
+}
+
+// BenchmarkTrain measures the shipping path: per-tree seeds drawn up front,
+// trees grown concurrently.
+func BenchmarkTrain(b *testing.B) {
+	X, y := randomTraining(3, 2000, 15)
+	cfg := Defaults()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkForest = Train(X, y, cfg)
+	}
+}
+
+var sinkFloat float64
+
+// BenchmarkMeanConfidence measures parallel monitoring-set scoring, the
+// per-iteration cost of the §5.3 stopping check.
+func BenchmarkMeanConfidence(b *testing.B) {
+	X, y := randomTraining(3, 1000, 15)
+	f := Train(X, y, Defaults())
+	V, _ := randomTraining(5, 5000, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkFloat = f.MeanConfidence(V)
+	}
+}

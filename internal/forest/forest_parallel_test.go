@@ -1,0 +1,106 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/stats"
+	"github.com/corleone-em/corleone/internal/tree"
+)
+
+// trainSerial is the pre-parallelization reference implementation: one RNG,
+// trees grown one after another, each consuming the forest RNG directly.
+// Train must produce exactly this forest for every seed.
+func trainSerial(X [][]float64, y []bool, cfg Config) *Forest {
+	cfg = cfg.withDefaults()
+	nf := len(X[0])
+	m := cfg.FeaturesPerSplit
+	if m <= 0 {
+		m = int(math.Log2(float64(nf))) + 1
+	}
+	if m > nf {
+		m = nf
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{cfg: cfg}
+	bag := int(math.Ceil(cfg.BagFraction * float64(len(X))))
+	if bag < 1 {
+		bag = 1
+	}
+	for t := 0; t < cfg.NumTrees; t++ {
+		treeRng := rand.New(rand.NewSource(rng.Int63()))
+		idx := stats.SampleIndices(treeRng, len(X), bag)
+		f.Trees = append(f.Trees, tree.Grow(X, y, idx, tree.Config{
+			MaxDepth:         cfg.MaxDepth,
+			MinLeaf:          cfg.MinLeaf,
+			FeaturesPerSplit: m,
+			Rand:             treeRng,
+		}))
+	}
+	return f
+}
+
+func randomTraining(seed int64, n, nf int) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		X[i] = make([]float64, nf)
+		for j := range X[i] {
+			X[i][j] = rng.Float64()
+		}
+		// Label correlates with the first feature so trees have signal.
+		y[i] = X[i][0]+0.2*rng.Float64() > 0.6
+	}
+	return X, y
+}
+
+// TestTrainParallelMatchesSerial pins the deterministic-parallelism contract:
+// for any seed, the concurrently grown forest is structurally identical to
+// the serial reference, tree for tree.
+func TestTrainParallelMatchesSerial(t *testing.T) {
+	X, y := randomTraining(9, 300, 8)
+	for _, seed := range []int64{1, 2, 17, 123} {
+		cfg := Defaults()
+		cfg.Seed = seed
+		got := Train(X, y, cfg)
+		want := trainSerial(X, y, cfg)
+		if !reflect.DeepEqual(got.Trees, want.Trees) {
+			t.Errorf("seed %d: parallel Train differs from serial reference", seed)
+		}
+	}
+	// Also with non-default tree counts and depth bounds.
+	cfg := Config{NumTrees: 23, BagFraction: 0.5, MaxDepth: 4, Seed: 5}
+	if !reflect.DeepEqual(Train(X, y, cfg).Trees, trainSerial(X, y, cfg).Trees) {
+		t.Error("parallel Train differs from serial reference (custom config)")
+	}
+}
+
+// TestScoringParallelMatchesSerial pins Confidences/Entropies/MeanConfidence
+// against plain serial loops over the same forest.
+func TestScoringParallelMatchesSerial(t *testing.T) {
+	X, y := randomTraining(4, 200, 6)
+	f := Train(X, y, Defaults())
+	V, _ := randomTraining(8, 500, 6)
+
+	confs := f.Confidences(V)
+	ents := f.Entropies(V)
+	sum := 0.0
+	for i, v := range V {
+		if c := f.Confidence(v); confs[i] != c {
+			t.Fatalf("Confidences[%d] = %v, serial = %v", i, confs[i], c)
+		}
+		if e := f.Entropy(v); ents[i] != e {
+			t.Fatalf("Entropies[%d] = %v, serial = %v", i, ents[i], e)
+		}
+		sum += f.Confidence(v)
+	}
+	if got, want := f.MeanConfidence(V), sum/float64(len(V)); got != want {
+		t.Errorf("MeanConfidence = %v, serial in-order sum = %v", got, want)
+	}
+	if got := f.MeanConfidence(nil); got != 1 {
+		t.Errorf("MeanConfidence(nil) = %v, want 1", got)
+	}
+}

@@ -1,0 +1,51 @@
+// Package par provides the one parallelism primitive the compute layers
+// share: a chunked parallel for. Corleone's hot loops (feature vectors,
+// blocking-rule scans, forest training, entropy ranking) are all
+// embarrassingly parallel over an index range; centralizing the fan-out
+// keeps the chunking policy — and the guarantee that results land at their
+// own index, preserving deterministic output order — in one place.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For partitions [0, n) into at most GOMAXPROCS contiguous chunks and runs
+// fn(lo, hi) on each, concurrently, returning when all chunks are done.
+// fn must only write to state owned by its own index range (e.g. out[i] for
+// lo <= i < hi); For itself imposes no ordering between chunks.
+//
+// Small inputs (n <= 1) and single-CPU runs execute inline with no
+// goroutine overhead. The zero-work case (n <= 0) is a no-op.
+func For(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,48 @@
+package par
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 100, 1000} {
+		hits := make([]int, n)
+		For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForNonPositive(t *testing.T) {
+	called := false
+	For(0, func(lo, hi int) { called = true })
+	For(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Error("fn must not run for n <= 0")
+	}
+}
+
+func TestForSingleCore(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	var order []int
+	For(10, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			order = append(order, i)
+		}
+	})
+	// With one worker the whole range arrives as a single in-order chunk.
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package similarity
+
+import (
+	"math"
+	"sort"
+
+	"github.com/corleone-em/corleone/internal/strutil"
+)
+
+// Fields selects which precomputed views a Profile carries. A record is
+// compared against thousands of counterparts during a pair scan, so
+// everything a measure would re-derive from the string on every call —
+// normalization, rune decoding, tokenization, q-grams, sorted count
+// vectors, parsed numerics, Soundex codes — is computed once per record
+// instead. Callers request only the fields their measures need; the
+// feature extractor picks them per attribute type.
+type Fields uint
+
+const (
+	// FieldRunes decodes the normalized string into runes (edit distance,
+	// Jaro, Jaro-Winkler, the alignment measures).
+	FieldRunes Fields = 1 << iota
+	// FieldTokenRunes decodes each word token into runes (Monge-Elkan).
+	FieldTokenRunes
+	// FieldWordSet materializes the sorted distinct word tokens
+	// (word Jaccard, overlap, TF/IDF weighing).
+	FieldWordSet
+	// FieldQGrams materializes the sorted padded 3-gram count vector
+	// (q-gram Jaccard and cosine).
+	FieldQGrams
+	// FieldNumeric parses the raw value as a number (numeric diffs).
+	FieldNumeric
+	// FieldSoundex encodes each word token with Soundex (phonetic match).
+	FieldSoundex
+)
+
+// AllFields builds every view; equivalence tests and generic callers use it.
+const AllFields = FieldRunes | FieldTokenRunes | FieldWordSet | FieldQGrams |
+	FieldNumeric | FieldSoundex
+
+// Profile is the precomputed view of one attribute value. The profile fast
+// paths below consume pairs of profiles and return results bit-identical to
+// the corresponding string measures applied to Norm (for measures that
+// normalize internally, to Raw as well): they run the same cores in the
+// same floating-point summation order, only on prebuilt structures.
+type Profile struct {
+	// Raw is the original attribute value; Norm is strutil.Normalize(Raw).
+	Raw, Norm string
+	// Runes is Norm decoded to runes (FieldRunes).
+	Runes []rune
+	// Tokens is strutil.Words(Norm); populated whenever any token-derived
+	// field is requested.
+	Tokens []string
+	// TokenRunes holds each token decoded to runes (FieldTokenRunes).
+	TokenRunes [][]rune
+	// SortedTokens is the sorted distinct Tokens (FieldWordSet).
+	SortedTokens []string
+	// SortedGrams / GramCounts are the sorted distinct padded 3-grams of
+	// Norm with multiplicities; GramNorm is Σ count² accumulated in sorted
+	// order (FieldQGrams).
+	SortedGrams []string
+	GramCounts  []int
+	GramNorm    float64
+	// Numeric / NumericOK are strutil.ParseNumeric(Raw) (FieldNumeric).
+	Numeric   float64
+	NumericOK bool
+	// SoundexCodes holds Soundex(token) aligned with Tokens; SortedCodes is
+	// their sorted distinct set (FieldSoundex).
+	SoundexCodes []string
+	SortedCodes  []string
+	// TFIDF is the corpus-weighted vector, set by Corpus.WeighProfile for
+	// attributes that carry a TF/IDF feature.
+	TFIDF *WeightedVector
+}
+
+// NewProfile precomputes the requested views of one attribute value.
+func NewProfile(raw string, fields Fields) *Profile {
+	p := &Profile{Raw: raw, Norm: strutil.Normalize(raw)}
+	if fields&FieldRunes != 0 {
+		p.Runes = []rune(p.Norm)
+	}
+	if fields&(FieldTokenRunes|FieldWordSet|FieldSoundex) != 0 {
+		p.Tokens = strutil.Words(p.Norm)
+	}
+	if fields&FieldTokenRunes != 0 {
+		p.TokenRunes = make([][]rune, len(p.Tokens))
+		for i, t := range p.Tokens {
+			p.TokenRunes[i] = []rune(t)
+		}
+	}
+	if fields&FieldWordSet != 0 {
+		p.SortedTokens = strutil.SortedSet(p.Tokens)
+	}
+	if fields&FieldQGrams != 0 {
+		p.SortedGrams, p.GramCounts = strutil.SortedCounts(strutil.QGrams(p.Norm, 3))
+		for _, c := range p.GramCounts {
+			f := float64(c)
+			p.GramNorm += f * f
+		}
+	}
+	if fields&FieldNumeric != 0 {
+		p.Numeric, p.NumericOK = strutil.ParseNumeric(raw)
+	}
+	if fields&FieldSoundex != 0 {
+		p.SoundexCodes = make([]string, len(p.Tokens))
+		for i, t := range p.Tokens {
+			p.SoundexCodes[i] = Soundex(t)
+		}
+		p.SortedCodes = strutil.SortedSet(p.SoundexCodes)
+	}
+	return p
+}
+
+// ExactMatchProfiles is the profile fast path of ExactMatch.
+func ExactMatchProfiles(a, b *Profile) float64 {
+	if a.Norm == "" && b.Norm == "" {
+		return 0.5
+	}
+	if a.Norm == b.Norm {
+		return 1
+	}
+	return 0
+}
+
+// EditSimProfiles is the profile fast path of EditSim (requires FieldRunes).
+func EditSimProfiles(a, b *Profile, s *Scratch) float64 {
+	return editSimRunes(a.Runes, b.Runes, s)
+}
+
+// JaroProfiles is the profile fast path of Jaro (requires FieldRunes).
+func JaroProfiles(a, b *Profile, s *Scratch) float64 {
+	return jaroRunes(a.Runes, b.Runes, s)
+}
+
+// JaroWinklerProfiles is the profile fast path of JaroWinkler (requires
+// FieldRunes).
+func JaroWinklerProfiles(a, b *Profile, s *Scratch) float64 {
+	return jaroWinklerRunes(a.Runes, b.Runes, s)
+}
+
+// JaccardWordsProfiles is the profile fast path of JaccardWords (requires
+// FieldWordSet).
+func JaccardWordsProfiles(a, b *Profile) float64 {
+	return jaccardSorted(a.SortedTokens, b.SortedTokens)
+}
+
+// JaccardQGramsProfiles is the profile fast path of JaccardQGrams (requires
+// FieldQGrams).
+func JaccardQGramsProfiles(a, b *Profile) float64 {
+	return jaccardSorted(a.SortedGrams, b.SortedGrams)
+}
+
+// jaccardSorted mirrors jaccard over sorted distinct slices: the
+// intersection is a linear merge instead of map probes, and the result is
+// the same integer-derived ratio.
+func jaccardSorted(sa, sb []string) float64 {
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := intersectSorted(sa, sb)
+	return float64(inter) / float64(len(sa)+len(sb)-inter)
+}
+
+// intersectSorted counts common elements of two sorted distinct slices.
+func intersectSorted(sa, sb []string) int {
+	inter := 0
+	for i, j := 0, 0; i < len(sa) && j < len(sb); {
+		switch {
+		case sa[i] < sb[j]:
+			i++
+		case sa[i] > sb[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	return inter
+}
+
+// OverlapWordsProfiles is the profile fast path of OverlapWords (requires
+// FieldWordSet).
+func OverlapWordsProfiles(a, b *Profile) float64 {
+	sa, sb := a.SortedTokens, b.SortedTokens
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	small := len(sa)
+	if len(sb) < small {
+		small = len(sb)
+	}
+	return float64(intersectSorted(sa, sb)) / float64(small)
+}
+
+// MongeElkanProfiles is the profile fast path of MongeElkan (requires
+// FieldTokenRunes).
+func MongeElkanProfiles(a, b *Profile, s *Scratch) float64 {
+	if len(a.Tokens) == 0 && len(b.Tokens) == 0 {
+		return 1
+	}
+	if len(a.Tokens) == 0 || len(b.Tokens) == 0 {
+		return 0
+	}
+	return (mongeElkanDirRunes(a.TokenRunes, b.TokenRunes, s) +
+		mongeElkanDirRunes(b.TokenRunes, a.TokenRunes, s)) / 2
+}
+
+func mongeElkanDirRunes(ta, tb [][]rune, s *Scratch) float64 {
+	sum := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if v := jaroWinklerRunes(x, y, s); v > best {
+				best = v
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// CosineQGramsProfiles is the profile fast path of CosineQGrams (requires
+// FieldQGrams). Norms are precomputed; the dot product merges the sorted
+// gram vectors in the string path's summation order.
+func CosineQGramsProfiles(a, b *Profile) float64 {
+	if len(a.SortedGrams) == 0 && len(b.SortedGrams) == 0 {
+		return 1
+	}
+	if len(a.SortedGrams) == 0 || len(b.SortedGrams) == 0 {
+		return 0
+	}
+	var dot float64
+	for i, j := 0, 0; i < len(a.SortedGrams) && j < len(b.SortedGrams); {
+		switch {
+		case a.SortedGrams[i] < b.SortedGrams[j]:
+			i++
+		case a.SortedGrams[i] > b.SortedGrams[j]:
+			j++
+		default:
+			dot += float64(a.GramCounts[i]) * float64(b.GramCounts[j])
+			i++
+			j++
+		}
+	}
+	if a.GramNorm == 0 || b.GramNorm == 0 {
+		return 0
+	}
+	s := dot / (math.Sqrt(a.GramNorm) * math.Sqrt(b.GramNorm))
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// NeedlemanWunschProfiles is the profile fast path of NeedlemanWunsch
+// (requires FieldRunes).
+func NeedlemanWunschProfiles(a, b *Profile, s *Scratch) float64 {
+	return needlemanWunschRunes(a.Runes, b.Runes, s)
+}
+
+// SmithWatermanProfiles is the profile fast path of SmithWaterman (requires
+// FieldRunes).
+func SmithWatermanProfiles(a, b *Profile, s *Scratch) float64 {
+	return smithWatermanRunes(a.Runes, b.Runes, s)
+}
+
+// LongestCommonSubstringProfiles is the profile fast path of
+// LongestCommonSubstring (requires FieldRunes).
+func LongestCommonSubstringProfiles(a, b *Profile, s *Scratch) float64 {
+	return longestCommonSubstringRunes(a.Runes, b.Runes, s)
+}
+
+// SoundexSimProfiles is the profile fast path of SoundexSim (requires
+// FieldSoundex).
+func SoundexSimProfiles(a, b *Profile) float64 {
+	if len(a.Tokens) == 0 && len(b.Tokens) == 0 {
+		return 1
+	}
+	if len(a.Tokens) == 0 || len(b.Tokens) == 0 {
+		return 0
+	}
+	short, long := a, b
+	if len(b.Tokens) < len(a.Tokens) {
+		short, long = b, a
+	}
+	hit := 0
+	for _, c := range short.SoundexCodes {
+		if i := sort.SearchStrings(long.SortedCodes, c); i < len(long.SortedCodes) && long.SortedCodes[i] == c {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(short.Tokens))
+}

@@ -1,0 +1,66 @@
+package similarity
+
+import "testing"
+
+var benchDocs = []string{
+	"kingston hyperx 4gb kit 2 x 2gb ddr3 memory module",
+	"kingston 4 gb hyperx ddr3 kit high performance",
+	"corsair vengeance 8gb ddr3 memory kit for desktops",
+	"seagate barracuda 1tb internal hard drive sata",
+	"western digital caviar blue 500gb desktop drive",
+	"efficient scalable entity matching with crowdsourcing",
+	"scalable crowdsourced entity resolution framework",
+	"the quick brown fox jumps over the lazy dog",
+}
+
+var sinkF float64
+
+// BenchmarkCosineString measures the per-call string path: tokenize, sort,
+// look the IDF up, normalize — all repeated on every comparison.
+func BenchmarkCosineString(b *testing.B) {
+	c := NewCorpus(benchDocs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkF = c.Cosine(benchDocs[i%len(benchDocs)], benchDocs[(i+3)%len(benchDocs)])
+	}
+}
+
+// BenchmarkCosineProfile measures the profile path: weighted vectors built
+// once, each comparison is a linear merge over presorted tokens.
+func BenchmarkCosineProfile(b *testing.B) {
+	c := NewCorpus(benchDocs)
+	profs := make([]*Profile, len(benchDocs))
+	for i, d := range benchDocs {
+		profs[i] = NewProfile(d, FieldWordSet)
+		c.WeighProfile(profs[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = c.CosineProfiles(profs[i%len(profs)], profs[(i+3)%len(profs)])
+	}
+}
+
+// BenchmarkEditSimString measures the string path: rune decode plus a fresh
+// DP row allocation per call.
+func BenchmarkEditSimString(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkF = EditSim(benchDocs[i%len(benchDocs)], benchDocs[(i+3)%len(benchDocs)])
+	}
+}
+
+// BenchmarkEditSimProfile measures the profile path: predecoded runes and a
+// reused scratch row.
+func BenchmarkEditSimProfile(b *testing.B) {
+	profs := make([]*Profile, len(benchDocs))
+	for i, d := range benchDocs {
+		profs[i] = NewProfile(d, FieldRunes)
+	}
+	s := NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = EditSimProfiles(profs[i%len(profs)], profs[(i+3)%len(profs)], s)
+	}
+}

@@ -1,0 +1,66 @@
+package similarity
+
+// Scratch holds the reusable working buffers of the dynamic-programming and
+// character-matching measures: the two DP rows of Levenshtein /
+// Needleman-Wunsch / Smith-Waterman / LCS and the matched-flag arrays of
+// Jaro. A pair scan evaluates millions of similarity calls; without scratch
+// every call allocates its rows anew, and that allocation — not the
+// arithmetic — dominates the profile. One Scratch serves one goroutine;
+// callers fanning out keep one per worker. A nil *Scratch is valid
+// everywhere and falls back to per-call allocation.
+type Scratch struct {
+	rowA, rowB   []int
+	flagA, flagB []bool
+}
+
+// NewScratch returns an empty scratch; buffers grow on demand and are
+// retained across calls.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// intRows returns two int rows of length n. Contents are unspecified;
+// every DP core initializes its rows before reading them (Smith-Waterman
+// and LCS zero them explicitly).
+func (s *Scratch) intRows(n int) (ra, rb []int) {
+	if s == nil {
+		return make([]int, n), make([]int, n)
+	}
+	if cap(s.rowA) < n {
+		s.rowA = make([]int, n)
+		s.rowB = make([]int, n)
+	}
+	return s.rowA[:n], s.rowB[:n]
+}
+
+// zeroIntRows returns two zeroed int rows of length n.
+func (s *Scratch) zeroIntRows(n int) (ra, rb []int) {
+	ra, rb = s.intRows(n)
+	for i := range ra {
+		ra[i] = 0
+	}
+	for i := range rb {
+		rb[i] = 0
+	}
+	return ra, rb
+}
+
+// boolRows returns two zeroed bool rows of lengths na and nb (Jaro's
+// matched-character flags).
+func (s *Scratch) boolRows(na, nb int) (fa, fb []bool) {
+	if s == nil {
+		return make([]bool, na), make([]bool, nb)
+	}
+	if cap(s.flagA) < na {
+		s.flagA = make([]bool, na)
+	}
+	if cap(s.flagB) < nb {
+		s.flagB = make([]bool, nb)
+	}
+	fa, fb = s.flagA[:na], s.flagB[:nb]
+	for i := range fa {
+		fa[i] = false
+	}
+	for i := range fb {
+		fb[i] = false
+	}
+	return fa, fb
+}

@@ -12,7 +12,10 @@ import (
 // the longer length and clamped at 0. Alignment-based measures tolerate
 // block edits better than plain Levenshtein.
 func NeedlemanWunsch(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	return needlemanWunschRunes([]rune(a), []rune(b), nil)
+}
+
+func needlemanWunschRunes(ra, rb []rune, s *Scratch) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -20,8 +23,7 @@ func NeedlemanWunsch(a, b string) float64 {
 	if la == 0 || lb == 0 {
 		return 0
 	}
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
+	prev, cur := s.intRows(lb + 1)
 	for j := range prev {
 		prev[j] = -j
 	}
@@ -52,7 +54,10 @@ func NeedlemanWunsch(a, b string) float64 {
 // the shorter length (the maximum achievable). Local alignment rewards a
 // shared core ("hyperx 4gb") regardless of surrounding text.
 func SmithWaterman(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	return smithWatermanRunes([]rune(a), []rune(b), nil)
+}
+
+func smithWatermanRunes(ra, rb []rune, s *Scratch) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -60,8 +65,9 @@ func SmithWaterman(a, b string) float64 {
 	if la == 0 || lb == 0 {
 		return 0
 	}
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
+	// Both rows start zeroed: cur[0] is only ever read, and the local
+	// alignment recurrence relies on the zero floor.
+	prev, cur := s.zeroIntRows(lb + 1)
 	best := 0
 	for i := 1; i <= la; i++ {
 		for j := 1; j <= lb; j++ {
@@ -103,7 +109,10 @@ func max3(a, b, c int) int {
 // LongestCommonSubstring returns the length of the longest common substring
 // of a and b divided by the longer length, in [0,1].
 func LongestCommonSubstring(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	return longestCommonSubstringRunes([]rune(a), []rune(b), nil)
+}
+
+func longestCommonSubstringRunes(ra, rb []rune, s *Scratch) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -111,8 +120,8 @@ func LongestCommonSubstring(a, b string) float64 {
 	if la == 0 || lb == 0 {
 		return 0
 	}
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
+	// prev must start zeroed (no-match cells reset to 0; row 0 is all 0).
+	prev, cur := s.zeroIntRows(lb + 1)
 	best := 0
 	for i := 1; i <= la; i++ {
 		for j := 1; j <= lb; j++ {

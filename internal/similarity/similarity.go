@@ -16,15 +16,20 @@ import (
 // decode to U+FFFD, so strings differing only in invalid bytes compare
 // equal — inputs are expected to be (normalized) valid UTF-8.
 func Levenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
+	return levenshteinRunes([]rune(a), []rune(b), nil)
+}
+
+// levenshteinRunes is the shared core of Levenshtein; both the string path
+// and the profile fast path run through it, so the two are identical by
+// construction. s supplies the two DP rows (nil allocates).
+func levenshteinRunes(ra, rb []rune, s *Scratch) int {
 	if len(ra) == 0 {
 		return len(rb)
 	}
 	if len(rb) == 0 {
 		return len(ra)
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	prev, cur := s.intRows(len(rb) + 1)
 	for j := range prev {
 		prev[j] = j
 	}
@@ -55,7 +60,11 @@ func min3(a, b, c int) int {
 // EditSim converts Levenshtein distance to a similarity:
 // 1 - dist/max(len(a), len(b)). Two empty strings are identical (1).
 func EditSim(a, b string) float64 {
-	la, lb := len([]rune(a)), len([]rune(b))
+	return editSimRunes([]rune(a), []rune(b), nil)
+}
+
+func editSimRunes(ra, rb []rune, s *Scratch) float64 {
+	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
 	}
@@ -63,12 +72,15 @@ func EditSim(a, b string) float64 {
 	if lb > m {
 		m = lb
 	}
-	return 1 - float64(Levenshtein(a, b))/float64(m)
+	return 1 - float64(levenshteinRunes(ra, rb, s))/float64(m)
 }
 
 // Jaro returns the Jaro similarity of a and b.
 func Jaro(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	return jaroRunes([]rune(a), []rune(b), nil)
+}
+
+func jaroRunes(ra, rb []rune, s *Scratch) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -84,8 +96,7 @@ func Jaro(a, b string) float64 {
 	if window < 0 {
 		window = 0
 	}
-	matchedA := make([]bool, la)
-	matchedB := make([]bool, lb)
+	matchedA, matchedB := s.boolRows(la, lb)
 	matches := 0
 	for i := 0; i < la; i++ {
 		lo := i - window
@@ -131,8 +142,15 @@ func Jaro(a, b string) float64 {
 // JaroWinkler boosts Jaro similarity for strings sharing a common prefix of
 // up to 4 runes, with the standard scaling factor 0.1.
 func JaroWinkler(a, b string) float64 {
-	j := Jaro(a, b)
-	l := strutil.CommonPrefixLen(a, b, 4)
+	return jaroWinklerRunes([]rune(a), []rune(b), nil)
+}
+
+func jaroWinklerRunes(ra, rb []rune, s *Scratch) float64 {
+	j := jaroRunes(ra, rb, s)
+	l := 0
+	for l < len(ra) && l < len(rb) && ra[l] == rb[l] && l < 4 {
+		l++
+	}
 	return j + float64(l)*0.1*(1-j)
 }
 

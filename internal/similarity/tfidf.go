@@ -51,39 +51,89 @@ func (c *Corpus) IDF(t string) float64 {
 	return math.Log(float64(c.docs + 1))
 }
 
-// Cosine returns the TF/IDF-weighted cosine similarity of a and b in [0,1].
-// Two empty strings are treated as unknown (0.5), one empty as 0.
-func (c *Corpus) Cosine(a, b string) float64 {
-	ta := strutil.TokenCounts(strutil.Words(a))
-	tb := strutil.TokenCounts(strutil.Words(b))
-	if len(ta) == 0 && len(tb) == 0 {
+// WeightedVector is a record's TF/IDF view under one corpus: the distinct
+// tokens in sorted order with their term frequencies, IDFs, precomputed
+// weights W[i] = TF[i]·IDF[i], and the squared norm Σ W[i]² accumulated in
+// sorted token order. Precomputing it once per record removes the
+// per-comparison tokenization, key sorting, and IDF map probes — including
+// the old Cosine's duplicated IDF lookup, which weighed tokens common to
+// both strings twice across its two sortedKeys passes.
+type WeightedVector struct {
+	Tokens []string
+	TF     []int
+	IDF    []float64
+	W      []float64
+	Norm   float64
+}
+
+// Weigh builds the corpus-weighted vector of a token multiset. Token order
+// in the input is irrelevant; the vector is sorted.
+func (c *Corpus) Weigh(tokens []string) *WeightedVector {
+	keys, counts := strutil.SortedCounts(tokens)
+	v := &WeightedVector{
+		Tokens: keys,
+		TF:     counts,
+		IDF:    make([]float64, len(keys)),
+		W:      make([]float64, len(keys)),
+	}
+	for i, t := range keys {
+		idf := c.IDF(t)
+		w := float64(counts[i]) * idf
+		v.IDF[i] = idf
+		v.W[i] = w
+		v.Norm += w * w
+	}
+	return v
+}
+
+// CosineVectors is the cosine of two corpus-weighted vectors (which must
+// come from the same corpus). The dot product merges the sorted token lists,
+// visiting common tokens in ascending order — the same floating-point
+// summation order as the string path, so scores are bit-identical.
+func CosineVectors(a, b *WeightedVector) float64 {
+	if len(a.Tokens) == 0 && len(b.Tokens) == 0 {
 		return 0.5
 	}
-	if len(ta) == 0 || len(tb) == 0 {
+	if len(a.Tokens) == 0 || len(b.Tokens) == 0 {
 		return 0
 	}
-	// Iterate in sorted token order: map order would vary the floating-
-	// point summation order and make similarity scores (and therefore
-	// whole pipeline runs) non-reproducible.
-	var dot, na, nb float64
-	for _, t := range sortedKeys(ta) {
-		w := c.IDF(t)
-		wa := float64(ta[t]) * w
-		na += wa * wa
-		if fb, ok := tb[t]; ok {
-			dot += wa * float64(fb) * w
+	var dot float64
+	for i, j := 0, 0; i < len(a.Tokens) && j < len(b.Tokens); {
+		switch {
+		case a.Tokens[i] < b.Tokens[j]:
+			i++
+		case a.Tokens[i] > b.Tokens[j]:
+			j++
+		default:
+			dot += a.W[i] * float64(b.TF[j]) * b.IDF[j]
+			i++
+			j++
 		}
 	}
-	for _, t := range sortedKeys(tb) {
-		wb := float64(tb[t]) * c.IDF(t)
-		nb += wb * wb
-	}
-	if na == 0 || nb == 0 {
+	if a.Norm == 0 || b.Norm == 0 {
 		return 0
 	}
-	s := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	s := dot / (math.Sqrt(a.Norm) * math.Sqrt(b.Norm))
 	if s > 1 {
 		s = 1 // guard against fp drift
 	}
 	return s
+}
+
+// Cosine returns the TF/IDF-weighted cosine similarity of a and b in [0,1].
+// Two empty strings are treated as unknown (0.5), one empty as 0.
+func (c *Corpus) Cosine(a, b string) float64 {
+	return CosineVectors(c.Weigh(strutil.Words(a)), c.Weigh(strutil.Words(b)))
+}
+
+// WeighProfile attaches the corpus-weighted vector for p's tokens to p,
+// enabling CosineProfiles on it.
+func (c *Corpus) WeighProfile(p *Profile) {
+	p.TFIDF = c.Weigh(p.Tokens)
+}
+
+// CosineProfiles is the profile fast path of Cosine: both profiles must
+// have been weighed under this corpus (WeighProfile).
+func (c *Corpus) CosineProfiles(a, b *Profile) float64 {
+	return CosineVectors(a.TFIDF, b.TFIDF)
 }

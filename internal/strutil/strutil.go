@@ -3,6 +3,8 @@
 package strutil
 
 import (
+	"sort"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -92,6 +94,61 @@ func TokenCounts(toks []string) map[string]int {
 		counts[t]++
 	}
 	return counts
+}
+
+// SortedSet returns the distinct tokens in sorted order. It is the sorted
+// materialization of TokenSet, used by profile-based set measures that
+// intersect by merging instead of probing a map.
+func SortedSet(toks []string) []string {
+	if len(toks) == 0 {
+		return nil
+	}
+	out := make([]string, len(toks))
+	copy(out, toks)
+	sort.Strings(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// SortedCounts returns the distinct tokens in sorted order alongside their
+// multiplicities — the sorted materialization of TokenCounts. Iterating the
+// result reproduces the summation order of a sortedKeys(TokenCounts(...))
+// loop exactly, which keeps profile-based cosine measures bit-identical to
+// their string-based counterparts.
+func SortedCounts(toks []string) ([]string, []int) {
+	keys := SortedSet(toks)
+	if keys == nil {
+		return nil, nil
+	}
+	counts := make([]int, len(keys))
+	for _, t := range toks {
+		i := sort.SearchStrings(keys, t)
+		counts[i]++
+	}
+	return keys, counts
+}
+
+// ParseNumeric parses s as a float after trimming spaces, a leading '$',
+// and thousands separators — the exact cleaning IsNumericString applies.
+// The second return is false for missing or unparseable values.
+func ParseNumeric(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "$")
+	s = strings.ReplaceAll(s, ",", "")
+	if !IsNumericString(s) {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
 }
 
 // CommonPrefixLen returns the length (in runes) of the longest common prefix

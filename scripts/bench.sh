@@ -1,0 +1,97 @@
+#!/bin/sh
+# Performance benchmark harness. Runs the hot-path micro-benchmarks
+# (similarity cosine, feature vectorization, blocking scan, forest training)
+# plus the whole-pipeline benchmarks in the repo root, and writes the results
+# to a machine-readable JSON file with legacy-vs-optimized speedup pairs.
+#
+# Usage:
+#   scripts/bench.sh              # full mode (stable numbers, minutes)
+#   scripts/bench.sh smoke        # -benchtime=1x smoke mode for CI (seconds)
+#   BENCH_OUT=out.json scripts/bench.sh
+#
+# The output (default BENCH_PR2.json) has three sections:
+#   mode        "smoke" or "full" — smoke numbers are single-iteration and
+#               only prove the harness runs; compare speedups in full mode
+#   benchmarks  one entry per benchmark: ns/op, B/op, allocs/op, custom
+#               metrics such as pairs/op
+#   speedups    baseline/optimized pairs with the ns/op ratio
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+OUT="${BENCH_OUT:-BENCH_PR2.json}"
+
+case "$MODE" in
+smoke) BENCHTIME="-benchtime=1x" ;;
+full) BENCHTIME="-benchtime=1s" ;;
+*)
+	echo "usage: scripts/bench.sh [smoke|full]" >&2
+	exit 2
+	;;
+esac
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+run() { # run <package> <bench regexp>
+	echo "== $1 ($2)" >&2
+	go test -run '^$' -bench "$2" -benchmem $BENCHTIME "$1" | tee -a "$RAW" >&2
+}
+
+run ./internal/similarity/ 'BenchmarkCosine(String|Profile)$|BenchmarkEditSim(String|Profile)$'
+run ./internal/feature/ 'BenchmarkVectors(String)?$|BenchmarkNewExtractor$'
+run ./internal/blocker/ 'BenchmarkApplyRules(String)?$'
+run ./internal/forest/ 'BenchmarkTrain(Serial)?$|BenchmarkMeanConfidence$'
+run . 'BenchmarkFeatureVector$|BenchmarkForestTrain$|BenchmarkBlockingThroughput$'
+
+# Turn `go test -bench` output into JSON. Benchmark lines look like:
+#   BenchmarkName-8  120  9876 ns/op  12 B/op  3 allocs/op  2000 pairs/op
+# Package lines ("pkg: ...") name the package the following benches live in.
+awk -v mode="$MODE" '
+BEGIN { n = 0 }
+/^pkg: / { pkg = $2 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bytes = ""; allocs = ""; extra = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		else if ($(i+1) == "B/op") bytes = $i
+		else if ($(i+1) == "allocs/op") allocs = $i
+		else if ($(i+1) !~ /^[0-9.]+$/) {
+			if (extra != "") extra = extra ","
+			extra = extra sprintf("\"%s\":%s", $(i+1), $i)
+		}
+	}
+	n++
+	names[n] = name
+	line = sprintf("    {\"name\":\"%s\",\"package\":\"%s\",\"ns_per_op\":%s", name, pkg, ns)
+	if (bytes != "") line = line sprintf(",\"bytes_per_op\":%s", bytes)
+	if (allocs != "") line = line sprintf(",\"allocs_per_op\":%s", allocs)
+	if (extra != "") line = line sprintf(",\"metrics\":{%s}", extra)
+	rows[n] = line "}"
+	nsof[name] = ns
+}
+function speedup(label, base, opt,   s) {
+	if (nsof[base] == "" || nsof[opt] == "" || nsof[opt] + 0 == 0) return ""
+	s = nsof[base] / nsof[opt]
+	return sprintf("    {\"name\":\"%s\",\"baseline\":\"%s\",\"optimized\":\"%s\",\"speedup\":%.2f}", \
+		label, base, opt, s)
+}
+END {
+	printf "{\n  \"mode\": \"%s\",\n  \"benchmarks\": [\n", mode
+	for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+	printf "  ],\n  \"speedups\": [\n"
+	m = 0
+	if ((s = speedup("tfidf_cosine", "BenchmarkCosineString", "BenchmarkCosineProfile")) != "") sp[++m] = s
+	if ((s = speedup("edit_similarity", "BenchmarkEditSimString", "BenchmarkEditSimProfile")) != "") sp[++m] = s
+	if ((s = speedup("extractor_vectors", "BenchmarkVectorsString", "BenchmarkVectors")) != "") sp[++m] = s
+	if ((s = speedup("blocking_scan", "BenchmarkApplyRulesString", "BenchmarkApplyRules")) != "") sp[++m] = s
+	if ((s = speedup("forest_train", "BenchmarkTrainSerial", "BenchmarkTrain")) != "") sp[++m] = s
+	for (i = 1; i <= m; i++) printf "%s%s\n", sp[i], (i < m ? "," : "")
+	printf "  ]\n}\n"
+}
+' "$RAW" >"$OUT"
+
+echo "wrote $OUT" >&2
