@@ -15,7 +15,9 @@ test:
 verify:
 	sh scripts/verify.sh
 
-# Hot-path benchmarks -> BENCH_PR2.json (ns/op, allocs, speedup pairs).
+# Hot-path benchmarks -> BENCH_PR3.json (ns/op, allocs, speedup pairs,
+# and a memory section contrasting the streaming umbrella set with full
+# materialization).
 # `bench` takes minutes and gives stable numbers; `bench-smoke` runs every
 # benchmark once so CI can prove the harness works in seconds.
 bench:

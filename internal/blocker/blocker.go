@@ -9,16 +9,13 @@ package blocker
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"github.com/corleone-em/corleone/internal/active"
 	"github.com/corleone-em/corleone/internal/crowd"
 	"github.com/corleone-em/corleone/internal/feature"
 	"github.com/corleone-em/corleone/internal/record"
 	"github.com/corleone-em/corleone/internal/ruleeval"
-	"github.com/corleone-em/corleone/internal/similarity"
 	"github.com/corleone-em/corleone/internal/tree"
 )
 
@@ -36,6 +33,11 @@ type Config struct {
 	RuleEval ruleeval.Config
 	// Seed drives sampling.
 	Seed int64
+	// Sink, when non-nil, receives the umbrella set as a bounded-memory
+	// stream of pair chunks (deterministic (a, b)-lexicographic order)
+	// instead of a materialized Result.Candidates slice, which is then left
+	// nil. See Sink's contract for chunk-reuse rules.
+	Sink Sink
 }
 
 // Defaults returns the paper's configuration.
@@ -87,7 +89,11 @@ func Run(ds *record.Dataset, ex *feature.Extractor, runner *crowd.Runner, cfg Co
 
 	// Step 1 (§4.1): decide whether to block at all.
 	if res.CartesianSize <= int64(cfg.TB) {
-		res.Candidates = allPairs(ds)
+		if cfg.Sink != nil {
+			emitAllPairs(ds, cfg.Sink)
+		} else {
+			res.Candidates = allPairs(ds)
+		}
 		return res, nil
 	}
 	res.Triggered = true
@@ -171,19 +177,15 @@ func Run(ds *record.Dataset, ex *feature.Extractor, runner *crowd.Runner, cfg Co
 	kept = dropContradicted(kept, verifiedPos, 0.1)
 	res.Selected = greedySelect(kept, X, len(ds.A.Rows), len(ds.B.Rows), cfg.TB, ex.Cost)
 
-	// Apply the selected rules to A×B in parallel.
-	res.Candidates = applyRules(ds, ex, res.Selected)
-	return res, nil
-}
-
-func allPairs(ds *record.Dataset) []record.Pair {
-	out := make([]record.Pair, 0, ds.A.Len()*ds.B.Len())
-	for a := 0; a < ds.A.Len(); a++ {
-		for b := 0; b < ds.B.Len(); b++ {
-			out = append(out, record.P(a, b))
-		}
+	// Apply the selected rules to A×B: the planner drives candidate
+	// generation through the similarity-join index when a selected rule can
+	// anchor it, and through the parallel exhaustive scan otherwise.
+	if cfg.Sink != nil {
+		applyRulesTo(ds, ex, res.Selected, cfg.Sink)
+	} else {
+		res.Candidates = applyRules(ds, ex, res.Selected)
 	}
-	return out
+	return res, nil
 }
 
 // samplePairs draws S: the smaller table crossed with ~t_B/|smaller| rows
@@ -362,71 +364,3 @@ func keyLess(a, b [3]float64) bool {
 	return false
 }
 
-// applyRules streams A×B through the selected blocking rules with one
-// worker per CPU, keeping pairs no rule eliminates. Features are computed
-// lazily per pair and memoized across rules, so each pair pays only for
-// the features its rule evaluations actually touch (the paper offloads
-// this scan to Hadoop; the algorithm is identical).
-func applyRules(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule) []record.Pair {
-	na, nb := ds.A.Len(), ds.B.Len()
-	if len(rules) == 0 {
-		return allPairs(ds)
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > na {
-		workers = na
-	}
-	parts := make([][]record.Pair, workers)
-	var wg sync.WaitGroup
-	chunk := (na + workers - 1) / workers
-	nf := ex.NumFeatures()
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > na {
-			hi = na
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			vals := make([]float64, nf)
-			have := make([]bool, nf)
-			scratch := similarity.NewScratch()
-			var out []record.Pair
-			for a := lo; a < hi; a++ {
-				for b := 0; b < nb; b++ {
-					p := record.P(a, b)
-					for i := range have {
-						have[i] = false
-					}
-					get := func(f int) float64 {
-						if !have[f] {
-							vals[f] = ex.ComputeScratch(f, p, scratch)
-							have[f] = true
-						}
-						return vals[f]
-					}
-					blocked := false
-					for _, r := range rules {
-						if r.MatchesFunc(get) {
-							blocked = true
-							break
-						}
-					}
-					if !blocked {
-						out = append(out, p)
-					}
-				}
-			}
-			parts[w] = out
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var out []record.Pair
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
-}

@@ -177,6 +177,69 @@ func TestGreedySelectEmpty(t *testing.T) {
 	}
 }
 
+// greedyX builds the synthetic sample the greedySelect edge-case tests
+// share: n examples with one feature valued i/n, so a rule "f ≤ θ" covers
+// exactly ⌊θ·n⌋+1 examples.
+func greedyX(n int) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{float64(i) / float64(n)}
+	}
+	return X
+}
+
+func greedyRule(thr float64, X [][]float64) ruleeval.Result {
+	r := tree.Rule{Preds: []tree.Predicate{{Feature: 0, Op: tree.LE, Threshold: thr}}}
+	return ruleeval.Result{
+		Candidate: ruleeval.Candidate{Rule: r, Coverage: ruleeval.Cover(r, X)},
+		Precision: stats.Interval{Point: 1},
+		Kept:      true,
+	}
+}
+
+// TestGreedySelectAllOvershoot: when every useful rule lands below the
+// target, §4.3 applies the single gentlest one (landing closest to the
+// target from below) and stops — reducing too far destroys recall for no
+// budget benefit.
+func TestGreedySelectAllOvershoot(t *testing.T) {
+	X := greedyX(1000)
+	// na·nb = 1000 = |S|, so target = tb = 100. Both rules overshoot
+	// (landings 50 and 80); the 0.919 rule lands closer.
+	kept := []ruleeval.Result{greedyRule(0.949, X), greedyRule(0.919, X)}
+	selected := greedySelect(kept, X, 10, 100, 100, func(int) float64 { return 1 })
+	if len(selected) != 1 {
+		t.Fatalf("selected %d rules, want exactly the gentlest overshooter", len(selected))
+	}
+	if thr := selected[0].Preds[0].Threshold; thr != 0.919 {
+		t.Errorf("selected threshold %g, want the gentlest (0.919)", thr)
+	}
+}
+
+// TestGreedySelectIgnoresUseless: rules whose marginal coverage is at or
+// under 0.5% of the survivors are never applied, even when the target has
+// not been reached — executing them costs a full A×B pass for nothing.
+func TestGreedySelectIgnoresUseless(t *testing.T) {
+	X := greedyX(1000)
+	// cov = 5 = aliveCount/200 exactly: at the minUseful boundary, ignored.
+	tiny := greedyRule(0.004, X)
+	selected := greedySelect([]ruleeval.Result{tiny}, X, 10, 100, 100, func(int) float64 { return 1 })
+	if len(selected) != 0 {
+		t.Errorf("selected %d rules, want none (only useless rules exist)", len(selected))
+	}
+	// Alongside a real rule the tiny one still never fires, including on the
+	// second iteration when the big rule has already been applied.
+	big := greedyRule(0.5, X)
+	selected = greedySelect([]ruleeval.Result{tiny, big}, X, 10, 100, 100, func(int) float64 { return 1 })
+	for _, r := range selected {
+		if r.Preds[0].Threshold == 0.004 {
+			t.Error("useless rule was selected")
+		}
+	}
+	if len(selected) == 0 {
+		t.Error("the useful rule should still be selected")
+	}
+}
+
 func TestDropContradicted(t *testing.T) {
 	mk := func(cov []int) ruleeval.Result {
 		return ruleeval.Result{Candidate: ruleeval.Candidate{Coverage: cov}, Kept: true}

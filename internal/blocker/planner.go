@@ -1,0 +1,251 @@
+package blocker
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/corleone-em/corleone/internal/feature"
+	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/simindex"
+	"github.com/corleone-em/corleone/internal/similarity"
+	"github.com/corleone-em/corleone/internal/tree"
+)
+
+// plan is the candidate-generation strategy for one rule set. The §4.3
+// scan visits all of A×B; when one selected rule is an indexable
+// high-similarity join complement — a conjunction of sim(f) ≤ θ predicates
+// on a single set-based feature — every survivor of the full rule set must
+// have sim(f) > θ, so an inverted index over f's tokens on table B can
+// enumerate a complete superset of the survivors directly.
+type plan struct {
+	// indexed reports whether an anchor was found; the remaining fields are
+	// meaningful only when it is true.
+	indexed bool
+	// feature is the anchor's feature index, kind its index kind, and theta
+	// the effective threshold (the minimum over the rule's ≤-thresholds).
+	feature int
+	kind    simindex.Kind
+	theta   float64
+}
+
+// anchorOf inspects one rule: if every predicate tests the same set-based
+// feature with Op ≤ and a non-negative effective threshold, the rule's
+// survivors are exactly {pairs : sim(f) > θ} and it can anchor an index
+// probe. Negative thresholds are rejected because sim > θ then admits
+// pairs sharing no tokens at all, which no inverted index can enumerate.
+func anchorOf(ex *feature.Extractor, r tree.Rule) (plan, bool) {
+	if len(r.Preds) == 0 {
+		return plan{}, false
+	}
+	f := r.Preds[0].Feature
+	theta := r.Preds[0].Threshold
+	for _, p := range r.Preds {
+		if p.Op != tree.LE || p.Feature != f {
+			return plan{}, false
+		}
+		if p.Threshold < theta {
+			theta = p.Threshold
+		}
+	}
+	if theta < 0 {
+		return plan{}, false
+	}
+	kind, ok := simindex.KindOf(ex.Features()[f].Kind)
+	if !ok {
+		return plan{}, false
+	}
+	return plan{indexed: true, feature: f, kind: kind, theta: theta}, true
+}
+
+// planRules picks the most selective indexable anchor among the selected
+// rules: the highest effective threshold (a tighter join admits fewer
+// candidates), feature index breaking ties for determinism. When no rule
+// is index-friendly the plan falls back to the exhaustive scan.
+func planRules(ex *feature.Extractor, rules []tree.Rule) plan {
+	best := plan{}
+	for _, r := range rules {
+		p, ok := anchorOf(ex, r)
+		if !ok {
+			continue
+		}
+		if !best.indexed || p.theta > best.theta ||
+			(p.theta == best.theta && p.feature < best.feature) {
+			best = p
+		}
+	}
+	return best
+}
+
+// verifier evaluates the full rule set on one pair with lazily computed,
+// memoized features — the exact §4.3 semantics both candidate-generation
+// strategies share, which is why their outputs are bit-identical.
+type verifier struct {
+	ex      *feature.Extractor
+	rules   []tree.Rule
+	vals    []float64
+	have    []bool
+	scratch *similarity.Scratch
+}
+
+func newVerifier(ex *feature.Extractor, rules []tree.Rule) *verifier {
+	return &verifier{
+		ex:      ex,
+		rules:   rules,
+		vals:    make([]float64, ex.NumFeatures()),
+		have:    make([]bool, ex.NumFeatures()),
+		scratch: similarity.NewScratch(),
+	}
+}
+
+// survives reports whether no rule eliminates p.
+func (v *verifier) survives(p record.Pair) bool {
+	for i := range v.have {
+		v.have[i] = false
+	}
+	get := func(f int) float64 {
+		if !v.have[f] {
+			v.vals[f] = v.ex.ComputeScratch(f, p, v.scratch)
+			v.have[f] = true
+		}
+		return v.vals[f]
+	}
+	for _, r := range v.rules {
+		if r.MatchesFunc(get) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyRulesTo streams the survivors of the selected rules over A×B to
+// sink, in (a, b)-lexicographic order: the planner routes candidate
+// generation through the similarity-join index when a rule is
+// index-friendly and through the parallel exhaustive scan otherwise. The
+// emitted pair stream is identical either way (every candidate is verified
+// against all rules by the same evaluator); only the number of pairs
+// visited differs.
+func applyRulesTo(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule, sink Sink) {
+	if len(rules) == 0 {
+		emitAllPairs(ds, sink)
+		return
+	}
+	if p := planRules(ex, rules); p.indexed {
+		applyRulesIndexedTo(ds, ex, rules, p, sink)
+		return
+	}
+	applyRulesScanTo(ds, ex, rules, sink)
+}
+
+// applyRules materializes the survivor stream — the historical signature
+// Run and the tests use.
+func applyRules(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule) []record.Pair {
+	var out []record.Pair
+	applyRulesTo(ds, ex, rules, collectSink(&out))
+	return out
+}
+
+// applyRulesScanTo is the exhaustive §4.3 scan: every cell of A×B is
+// visited, in parallel, with features computed lazily per pair and
+// memoized across rules. Work is handed out in fixed-size blocks of the
+// flattened (int64) pair space and chunks are re-sequenced before emission,
+// so the output order is (a, b)-lexicographic at every GOMAXPROCS and peak
+// memory stays bounded by the reorder window — not the survivor count.
+func applyRulesScanTo(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule, sink Sink) {
+	na, nb := int64(ds.A.Len()), int64(ds.B.Len())
+	total := na * nb
+	if total <= 0 {
+		return
+	}
+	blocks := (total + blockPairs - 1) / blockPairs
+	workers := runtime.GOMAXPROCS(0)
+	if int64(workers) > blocks {
+		workers = int(blocks)
+	}
+	q := newSequencer(blocks, workers, sink)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := newVerifier(ex, rules)
+			for {
+				block, buf, ok := q.claim()
+				if !ok {
+					return
+				}
+				lo := block * blockPairs
+				hi := lo + blockPairs
+				if hi > total {
+					hi = total
+				}
+				for i := lo; i < hi; i++ {
+					p := record.Pair{A: int32(i / nb), B: int32(i % nb)}
+					if v.survives(p) {
+						buf = append(buf, p)
+					}
+				}
+				q.complete(block, buf)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// indexBlockRows is how many probe (table A) rows one indexed-scan block
+// covers; small enough to load-balance skewed postings, large enough to
+// amortize the sequencer handoff.
+const indexBlockRows = 64
+
+// applyRulesIndexedTo generates candidates through the similarity-join
+// index instead of scanning A×B: for each A row it probes the anchor
+// feature's postings over table B, then verifies every candidate against
+// the full rule set with the same evaluator the scan uses. Index
+// completeness (see simindex.Candidates) guarantees the candidates are a
+// superset of the anchor rule's survivors, which contain the full rule
+// set's survivors; exact verification then yields the identical stream.
+// Probes run in parallel over A-row blocks with re-sequenced emission, so
+// ordering matches the scan at every GOMAXPROCS.
+func applyRulesIndexedTo(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule, p plan, sink Sink) {
+	profA, profB := ex.Profiles(p.feature)
+	ix := simindex.Build(p.kind, profB)
+	na := int64(ds.A.Len())
+	if na <= 0 || ds.B.Len() <= 0 {
+		return
+	}
+	blocks := (na + indexBlockRows - 1) / indexBlockRows
+	workers := runtime.GOMAXPROCS(0)
+	if int64(workers) > blocks {
+		workers = int(blocks)
+	}
+	q := newSequencer(blocks, workers, sink)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := newVerifier(ex, rules)
+			is := simindex.NewScratch()
+			for {
+				block, buf, ok := q.claim()
+				if !ok {
+					return
+				}
+				lo := block * indexBlockRows
+				hi := lo + indexBlockRows
+				if hi > na {
+					hi = na
+				}
+				for a := lo; a < hi; a++ {
+					for _, b := range ix.Candidates(profA[a], p.theta, is) {
+						pair := record.Pair{A: int32(a), B: b}
+						if v.survives(pair) {
+							buf = append(buf, pair)
+						}
+					}
+				}
+				q.complete(block, buf)
+			}
+		}()
+	}
+	wg.Wait()
+}

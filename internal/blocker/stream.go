@@ -1,0 +1,145 @@
+package blocker
+
+import (
+	"math"
+	"sync"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// Sink consumes the umbrella set as a stream of pair chunks. Chunks arrive
+// in deterministic (a, b)-lexicographic order regardless of GOMAXPROCS, and
+// the chunk slice is reused by the emitter after the call returns —
+// implementations that retain pairs must copy them (append into a
+// destination slice does). A nil Sink is never invoked.
+type Sink func(chunk []record.Pair)
+
+// blockPairs is the number of Cartesian-product cells one scan block
+// covers; a block's survivor chunk is at most this large, so the streaming
+// path's peak memory is bounded by blockPairs × (reorder window) pairs —
+// independent of the umbrella set's size.
+const blockPairs = 4096
+
+// seqWindowPerWorker bounds how far ahead of the emission frontier workers
+// may claim blocks. The reorder buffer therefore holds at most
+// workers × seqWindowPerWorker completed chunks.
+const seqWindowPerWorker = 4
+
+// sequencer hands out work blocks to concurrent workers and delivers their
+// completed chunks to the sink in block order. Workers may run ahead of the
+// slowest block only by the window, which bounds both the reorder buffer
+// and the pool of chunk buffers; buffers are recycled once their chunk has
+// been delivered.
+type sequencer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	next   int64 // next block index to hand out
+	emit   int64 // next block index to deliver
+	blocks int64
+	window int64
+	done   map[int64][]record.Pair
+	free   [][]record.Pair
+	sink   Sink
+}
+
+func newSequencer(blocks int64, workers int, sink Sink) *sequencer {
+	q := &sequencer{
+		blocks: blocks,
+		window: int64(workers) * seqWindowPerWorker,
+		done:   make(map[int64][]record.Pair),
+		sink:   sink,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// claim returns the next block index and a reusable output buffer, or
+// ok=false when all blocks are handed out. It blocks while the caller is a
+// full window ahead of the emission frontier.
+func (q *sequencer) claim() (block int64, buf []record.Pair, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.next < q.blocks && q.next-q.emit >= q.window {
+		q.cond.Wait()
+	}
+	if q.next >= q.blocks {
+		return 0, nil, false
+	}
+	block = q.next
+	q.next++
+	if n := len(q.free); n > 0 {
+		buf = q.free[n-1][:0]
+		q.free = q.free[:n-1]
+	} else {
+		buf = make([]record.Pair, 0, blockPairs)
+	}
+	return block, buf, true
+}
+
+// complete records a block's survivors and delivers every ready chunk, in
+// order, to the sink. Delivery happens under the lock, so sink calls are
+// serialized and ordered; delivered buffers return to the free pool.
+func (q *sequencer) complete(block int64, out []record.Pair) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.done[block] = out
+	for {
+		buf, ok := q.done[q.emit]
+		if !ok {
+			break
+		}
+		delete(q.done, q.emit)
+		q.emit++
+		if len(buf) > 0 {
+			q.sink(buf)
+		}
+		q.free = append(q.free, buf)
+	}
+	q.cond.Broadcast()
+}
+
+// emitAllPairs streams the full Cartesian product A×B through sink in
+// (a, b) order, in bounded chunks. All index arithmetic is int64, so the
+// path is safe for products that overflow int — the untriggered-blocking
+// guard the old preallocating allPairs lacked.
+func emitAllPairs(ds *record.Dataset, sink Sink) {
+	na, nb := int64(ds.A.Len()), int64(ds.B.Len())
+	total := na * nb
+	if total <= 0 {
+		return
+	}
+	buf := make([]record.Pair, 0, blockPairs)
+	for a := int64(0); a < na; a++ {
+		for b := int64(0); b < nb; b++ {
+			buf = append(buf, record.Pair{A: int32(a), B: int32(b)})
+			if len(buf) == blockPairs {
+				sink(buf)
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		sink(buf)
+	}
+}
+
+// collectSink returns a sink that materializes the stream into *dst,
+// growing it by copy (chunks are emitter-owned and reused).
+func collectSink(dst *[]record.Pair) Sink {
+	return func(chunk []record.Pair) {
+		*dst = append(*dst, chunk...)
+	}
+}
+
+// allPairs materializes the full Cartesian product. The capacity hint comes
+// from the int64 CartesianSize and is applied only when the product fits
+// comfortably in an int-indexed allocation, so a pathological |A|·|B| can
+// no longer overflow the na*nb int multiply into a bogus make() size.
+func allPairs(ds *record.Dataset) []record.Pair {
+	var out []record.Pair
+	if n := ds.CartesianSize(); n > 0 && n < math.MaxInt32 {
+		out = make([]record.Pair, 0, int(n))
+	}
+	emitAllPairs(ds, collectSink(&out))
+	return out
+}

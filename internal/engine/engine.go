@@ -296,10 +296,18 @@ func Run(ds *record.Dataset, c crowd.Crowd, cfg Config) (*Result, error) {
 	emit("blocking", fmt.Sprintf("scanning %d pairs (t_B = %d)", ds.CartesianSize(), cfg.Blocker.TB))
 	bcfg := cfg.Blocker
 	bcfg.Seed = cfg.Seed
+	// Consume the umbrella set as a stream: the blocker's planner emits
+	// bounded chunks in deterministic order, and the engine materializes C
+	// exactly once here (the matcher needs random access to it).
+	var C []record.Pair
+	bcfg.Sink = func(chunk []record.Pair) { C = append(C, chunk...) }
 	blk, err := blocker.Run(ds, ex, runner, bcfg)
 	if err != nil {
 		return nil, err
 	}
+	// Re-attach the collected umbrella set so Result.Blocking.Candidates
+	// keeps its documented meaning for reports, experiments, and tests.
+	blk.Candidates = C
 	res.Blocking = blk
 	res.BlockingAccounting = runner.Stats()
 	if blk.Triggered {
@@ -309,9 +317,6 @@ func Run(ds *record.Dataset, c crowd.Crowd, cfg Config) (*Result, error) {
 		emit("blocking", "skipped (Cartesian product below t_B)")
 	}
 	checkpoint("blocking", 0, nil)
-
-	// Candidate set C and its feature vectors.
-	C := blk.Candidates
 	X := ex.Vectors(C)
 
 	// All labeled examples accumulated so far, deduplicated by pair, with

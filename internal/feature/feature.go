@@ -265,6 +265,15 @@ func (e *Extractor) Name(i int) string { return e.features[i].Name }
 // Cost returns the compute cost of feature i.
 func (e *Extractor) Cost(i int) float64 { return e.features[i].Cost }
 
+// Profiles returns the precomputed profile columns backing feature i — one
+// per row of table A and table B respectively. Index builders (the
+// blocker's similarity-join planner) consume them directly; callers must
+// treat both slices as read-only.
+func (e *Extractor) Profiles(i int) (a, b []*similarity.Profile) {
+	f := &e.features[i]
+	return e.profA[f.AttrIdx], e.profB[f.AttrIdx]
+}
+
 // Compute evaluates a single feature for pair p via the profile fast path.
 // This is the lazy path the Blocker uses when applying rules to A×B: only
 // the features a rule actually references are computed.

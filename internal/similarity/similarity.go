@@ -22,7 +22,21 @@ func Levenshtein(a, b string) int {
 // levenshteinRunes is the shared core of Levenshtein; both the string path
 // and the profile fast path run through it, so the two are identical by
 // construction. s supplies the two DP rows (nil allocates).
+//
+// A shared prefix or suffix never contributes to the unit-cost distance
+// (any optimal alignment of the remainder extends to one of the whole at
+// the same cost), so both are trimmed before the DP. When one trimmed side
+// is empty the distance is exactly the remaining length — the tight case
+// of the |len(a) − len(b)| lower bound — and the quadratic DP is skipped
+// entirely. Near-duplicate attribute values, the common case under
+// blocking, resolve in O(len) this way.
 func levenshteinRunes(ra, rb []rune, s *Scratch) int {
+	for len(ra) > 0 && len(rb) > 0 && ra[0] == rb[0] {
+		ra, rb = ra[1:], rb[1:]
+	}
+	for len(ra) > 0 && len(rb) > 0 && ra[len(ra)-1] == rb[len(rb)-1] {
+		ra, rb = ra[:len(ra)-1], rb[:len(rb)-1]
+	}
 	if len(ra) == 0 {
 		return len(rb)
 	}

@@ -256,3 +256,54 @@ func TestTFIDFUnknownTokenGetsMaxIDF(t *testing.T) {
 		t.Error("unknown token should have at least the max IDF")
 	}
 }
+
+// levenshteinRef is the textbook full-matrix DP, kept free of the trimming
+// and early-exit shortcuts so it can referee them.
+func levenshteinRef(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	d := make([][]int, len(ra)+1)
+	for i := range d {
+		d[i] = make([]int, len(rb)+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= len(rb); j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, d[i-1][j-1]+cost)
+		}
+	}
+	return d[len(ra)][len(rb)]
+}
+
+// TestLevenshteinTrimExact pins the prefix/suffix-trimming fast path to the
+// untrimmed reference on the shapes it short-circuits: shared prefixes,
+// shared suffixes, containment (where the early exit returns the length
+// difference), and arbitrary strings.
+func TestLevenshteinTrimExact(t *testing.T) {
+	cases := [][2]string{
+		{"sony vaio laptop 15", "sony vaio laptop 17"},   // long shared prefix
+		{"black usb cable 2m", "white usb cable 2m"},     // long shared suffix
+		{"kingston hyperx", "kingston value hyperx"},     // prefix+suffix, insertion
+		{"abcdef", "abc"},                                // containment: exit = len diff
+		{"abc", "abcdef"},                                // containment, other side
+		{"abcdef", "abcdef"},                             // identical: trims to empty
+		{"", "abc"}, {"abc", ""}, {"", ""},               // empty edges
+		{"aaaa", "aa"},                                   // repeated runes trim greedily
+		{"réservé", "reserve"},                           // multibyte runes
+	}
+	for _, c := range cases {
+		if got, want := Levenshtein(c[0], c[1]), levenshteinRef(c[0], c[1]); got != want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+	f := func(a, b string) bool { return Levenshtein(a, b) == levenshteinRef(a, b) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error("reference equivalence:", err)
+	}
+}

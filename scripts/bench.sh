@@ -1,26 +1,34 @@
 #!/bin/sh
 # Performance benchmark harness. Runs the hot-path micro-benchmarks
-# (similarity cosine, feature vectorization, blocking scan, forest training)
-# plus the whole-pipeline benchmarks in the repo root, and writes the results
-# to a machine-readable JSON file with legacy-vs-optimized speedup pairs.
+# (similarity cosine, feature vectorization, blocking scan + similarity-join
+# index, forest training) plus the whole-pipeline benchmarks in the repo
+# root, and writes the results to a machine-readable JSON file with
+# legacy-vs-optimized speedup pairs.
 #
 # Usage:
 #   scripts/bench.sh              # full mode (stable numbers, minutes)
 #   scripts/bench.sh smoke        # -benchtime=1x smoke mode for CI (seconds)
 #   BENCH_OUT=out.json scripts/bench.sh
 #
-# The output (default BENCH_PR2.json) has three sections:
+# The output (default BENCH_PR3.json) has these sections:
 #   mode        "smoke" or "full" — smoke numbers are single-iteration and
 #               only prove the harness runs; compare speedups in full mode
+#   gomaxprocs/num_cpu  the parallelism the run actually had. Parallel-vs-
+#               serial speedups (forest_train) are meaningless on a 1-core
+#               box, so consumers must read them alongside these fields.
 #   benchmarks  one entry per benchmark: ns/op, B/op, allocs/op, custom
-#               metrics such as pairs/op
-#   speedups    baseline/optimized pairs with the ns/op ratio
+#               metrics such as pairs/op; "cpus" when run under -cpu
+#   speedups    baseline/optimized pairs with the ns/op ratio (at the
+#               highest -cpu value when a benchmark ran under several)
+#   memory      baseline/optimized pairs compared on bytes/op — the
+#               streaming umbrella set is a peak-memory fix, not a CPU one
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
-OUT="${BENCH_OUT:-BENCH_PR2.json}"
+OUT="${BENCH_OUT:-BENCH_PR3.json}"
+NCPU="$(nproc 2>/dev/null || echo 1)"
 
 case "$MODE" in
 smoke) BENCHTIME="-benchtime=1x" ;;
@@ -34,26 +42,41 @@ esac
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-run() { # run <package> <bench regexp>
-	echo "== $1 ($2)" >&2
-	go test -run '^$' -bench "$2" -benchmem $BENCHTIME "$1" | tee -a "$RAW" >&2
+run() { # run <package> <bench regexp> [extra go-test flags...]
+	pkg="$1"
+	re="$2"
+	shift 2
+	echo "== $pkg ($re)" >&2
+	go test -run '^$' -bench "$re" -benchmem $BENCHTIME "$@" "$pkg" | tee -a "$RAW" >&2
 }
 
 run ./internal/similarity/ 'BenchmarkCosine(String|Profile)$|BenchmarkEditSim(String|Profile)$'
 run ./internal/feature/ 'BenchmarkVectors(String)?$|BenchmarkNewExtractor$'
-run ./internal/blocker/ 'BenchmarkApplyRules(String)?$'
-run ./internal/forest/ 'BenchmarkTrain(Serial)?$|BenchmarkMeanConfidence$'
+run ./internal/blocker/ 'BenchmarkApplyRules(String|Indexed|IndexedSelective)?$|BenchmarkUmbrella(Materialized|Streaming)$'
+# Forest training is parallel across trees: run serial-vs-parallel at 1 CPU
+# and at every CPU, so the forest_train speedup is read at real parallelism
+# (PR2 recorded 0.98x here — an artifact of benchmarking on a 1-core box).
+# On a 1-core box the two -cpu values would coincide; run once.
+if [ "$NCPU" -gt 1 ]; then CPUSPEC="1,$NCPU"; else CPUSPEC="1"; fi
+run ./internal/forest/ 'BenchmarkTrain(Serial)?$|BenchmarkMeanConfidence$' -cpu "$CPUSPEC"
 run . 'BenchmarkFeatureVector$|BenchmarkForestTrain$|BenchmarkBlockingThroughput$'
 
 # Turn `go test -bench` output into JSON. Benchmark lines look like:
 #   BenchmarkName-8  120  9876 ns/op  12 B/op  3 allocs/op  2000 pairs/op
+# The -8 suffix is GOMAXPROCS and is absent on single-proc runs; under
+# -cpu=1,N the same benchmark appears once per value, so the suffix is kept
+# as a "cpus" field and per-name lookups retain the LAST (highest-cpu) run.
 # Package lines ("pkg: ...") name the package the following benches live in.
-awk -v mode="$MODE" '
+awk -v mode="$MODE" -v ncpu="$NCPU" -v gmp="${GOMAXPROCS:-$NCPU}" '
 BEGIN { n = 0 }
 /^pkg: / { pkg = $2 }
 /^Benchmark/ {
 	name = $1
-	sub(/-[0-9]+$/, "", name)
+	cpus = ""
+	if (match(name, /-[0-9]+$/)) {
+		cpus = substr(name, RSTART + 1)
+		name = substr(name, 1, RSTART - 1)
+	}
 	ns = ""; bytes = ""; allocs = ""; extra = ""
 	for (i = 3; i < NF; i++) {
 		if ($(i+1) == "ns/op") ns = $i
@@ -65,13 +88,14 @@ BEGIN { n = 0 }
 		}
 	}
 	n++
-	names[n] = name
 	line = sprintf("    {\"name\":\"%s\",\"package\":\"%s\",\"ns_per_op\":%s", name, pkg, ns)
+	if (cpus != "") line = line sprintf(",\"cpus\":%s", cpus)
 	if (bytes != "") line = line sprintf(",\"bytes_per_op\":%s", bytes)
 	if (allocs != "") line = line sprintf(",\"allocs_per_op\":%s", allocs)
 	if (extra != "") line = line sprintf(",\"metrics\":{%s}", extra)
 	rows[n] = line "}"
 	nsof[name] = ns
+	bytesof[name] = bytes
 }
 function speedup(label, base, opt,   s) {
 	if (nsof[base] == "" || nsof[opt] == "" || nsof[opt] + 0 == 0) return ""
@@ -79,8 +103,14 @@ function speedup(label, base, opt,   s) {
 	return sprintf("    {\"name\":\"%s\",\"baseline\":\"%s\",\"optimized\":\"%s\",\"speedup\":%.2f}", \
 		label, base, opt, s)
 }
+function memcut(label, base, opt,   s) {
+	if (bytesof[base] == "" || bytesof[opt] == "" || bytesof[opt] + 0 == 0) return ""
+	s = bytesof[base] / bytesof[opt]
+	return sprintf("    {\"name\":\"%s\",\"baseline\":\"%s\",\"optimized\":\"%s\",\"bytes_baseline\":%s,\"bytes_optimized\":%s,\"reduction\":%.2f}", \
+		label, base, opt, bytesof[base], bytesof[opt], s)
+}
 END {
-	printf "{\n  \"mode\": \"%s\",\n  \"benchmarks\": [\n", mode
+	printf "{\n  \"mode\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"num_cpu\": %s,\n  \"benchmarks\": [\n", mode, gmp, ncpu
 	for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
 	printf "  ],\n  \"speedups\": [\n"
 	m = 0
@@ -88,7 +118,13 @@ END {
 	if ((s = speedup("edit_similarity", "BenchmarkEditSimString", "BenchmarkEditSimProfile")) != "") sp[++m] = s
 	if ((s = speedup("extractor_vectors", "BenchmarkVectorsString", "BenchmarkVectors")) != "") sp[++m] = s
 	if ((s = speedup("blocking_scan", "BenchmarkApplyRulesString", "BenchmarkApplyRules")) != "") sp[++m] = s
+	if ((s = speedup("blocking_indexed", "BenchmarkApplyRules", "BenchmarkApplyRulesIndexedSelective")) != "") sp[++m] = s
+	if ((s = speedup("blocking_indexed_loose", "BenchmarkApplyRules", "BenchmarkApplyRulesIndexed")) != "") sp[++m] = s
 	if ((s = speedup("forest_train", "BenchmarkTrainSerial", "BenchmarkTrain")) != "") sp[++m] = s
+	for (i = 1; i <= m; i++) printf "%s%s\n", sp[i], (i < m ? "," : "")
+	printf "  ],\n  \"memory\": [\n"
+	m = 0
+	if ((s = memcut("umbrella_streaming", "BenchmarkUmbrellaMaterialized", "BenchmarkUmbrellaStreaming")) != "") sp[++m] = s
 	for (i = 1; i <= m; i++) printf "%s%s\n", sp[i], (i < m ? "," : "")
 	printf "  ]\n}\n"
 }

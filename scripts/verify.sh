@@ -10,3 +10,13 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Bench-smoke sanity: every benchmark must still run (one iteration) and
+# the harness must emit parseable JSON. Numbers are not checked — smoke
+# mode only proves the measurement path works. Writes to a temp file so a
+# committed BENCH_PR*.json with real full-mode numbers is never clobbered.
+BENCH_OUT="$(mktemp)"
+trap 'rm -f "$BENCH_OUT"' EXIT
+BENCH_OUT="$BENCH_OUT" sh scripts/bench.sh smoke
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$BENCH_OUT" ||
+	{ echo "bench-smoke: invalid JSON" >&2; exit 1; }
