@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench bench-smoke
+.PHONY: build test lint verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,14 @@ build:
 test:
 	$(GO) test ./...
 
-# vet + build + full suite under the race detector.
+# Static gates: vet plus corlint, the repo's own invariant linter
+# (determinism, float hygiene, durability, concurrency — see DESIGN.md
+# "Enforced invariants"). Exits nonzero on any unsuppressed finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/corlint ./...
+
+# gofmt gate + lint + build + full suite under the race detector.
 verify:
 	sh scripts/verify.sh
 

@@ -1,0 +1,166 @@
+// Command corlint runs the repo's invariant linters (internal/lint) over
+// the module and exits nonzero on any unsuppressed finding. It is wired
+// into `make lint`, scripts/verify.sh, and CI; see DESIGN.md "Enforced
+// invariants" for the rule table.
+//
+// Usage:
+//
+//	corlint [./... | dir ...]   lint the module (default ./...)
+//	corlint -rules              print the rule table
+//	corlint -jsoncheck FILE     validate FILE is well-formed JSON
+//
+// The -jsoncheck mode exists so scripts/verify.sh can validate bench
+// harness output without a Python interpreter on the machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/corleone-em/corleone/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("corlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonFile := fs.String("jsoncheck", "", "validate `file` as JSON and exit (no linting)")
+	rules := fs.Bool("rules", false, "print the rule table and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonFile != "" {
+		if err := jsonCheck(*jsonFile); err != nil {
+			fmt.Fprintf(stderr, "corlint: jsoncheck: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *rules {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(stdout, "%-18s %s\n", r.ID(), r.Doc())
+		}
+		return 0
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "corlint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "corlint: %v\n", err)
+		return 2
+	}
+	units, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintf(stderr, "corlint: %v\n", err)
+		return 2
+	}
+	units, err = filterUnits(units, fs.Args(), root, loader)
+	if err != nil {
+		fmt.Fprintf(stderr, "corlint: %v\n", err)
+		return 2
+	}
+	findings := lint.Run(units, loader.Srcs, lint.DefaultConfig())
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Fprintln(stdout, rel.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "corlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// filterUnits restricts analysis to the requested directories. "./..."
+// (or no argument) means the whole module.
+func filterUnits(units []*lint.Unit, args []string, root string, loader *lint.Loader) ([]*lint.Unit, error) {
+	var dirs []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			return units, nil
+		}
+		a = strings.TrimSuffix(a, "/...")
+		abs, err := filepath.Abs(a)
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, abs)
+	}
+	if len(dirs) == 0 {
+		return units, nil
+	}
+	modPath := loader.ModPath
+	var out []*lint.Unit
+	for _, u := range units {
+		rel := strings.TrimPrefix(strings.TrimPrefix(u.Path, modPath), "/")
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		for _, want := range dirs {
+			if dir == want || strings.HasPrefix(dir, want+string(filepath.Separator)) {
+				out = append(out, u)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// jsonCheck validates that path holds exactly one well-formed JSON value.
+func jsonCheck(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		if syn, ok := err.(*json.SyntaxError); ok {
+			line, col := offsetToLineCol(data, syn.Offset)
+			return fmt.Errorf("%s:%d:%d: %v", path, line, col, err)
+		}
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	return nil
+}
+
+func offsetToLineCol(data []byte, off int64) (int, int) {
+	line, col := 1, 1
+	for i := int64(0); i < off && i < int64(len(data)); i++ {
+		if data[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}

@@ -362,6 +362,7 @@ func partialSortByEntropy(cs []cand, k int) {
 		best := i
 		for j := i + 1; j < len(cs); j++ {
 			if cs[j].entropy > cs[best].entropy ||
+				//corlint:allow float-eq — deterministic tie-break: exactly equal entropies must fall through to the index comparison, identically on every run
 				(cs[j].entropy == cs[best].entropy && cs[j].idx < cs[best].idx) {
 				best = j
 			}

@@ -363,4 +363,3 @@ func keyLess(a, b [3]float64) bool {
 	}
 	return false
 }
-

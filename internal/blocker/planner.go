@@ -6,8 +6,8 @@ import (
 
 	"github.com/corleone-em/corleone/internal/feature"
 	"github.com/corleone-em/corleone/internal/record"
-	"github.com/corleone-em/corleone/internal/simindex"
 	"github.com/corleone-em/corleone/internal/similarity"
+	"github.com/corleone-em/corleone/internal/simindex"
 	"github.com/corleone-em/corleone/internal/tree"
 )
 
@@ -69,6 +69,7 @@ func planRules(ex *feature.Extractor, rules []tree.Rule) plan {
 			continue
 		}
 		if !best.indexed || p.theta > best.theta ||
+			//corlint:allow float-eq — deterministic tie-break: equal thetas must resolve by feature id so the planner picks the same anchor at every GOMAXPROCS
 			(p.theta == best.theta && p.feature < best.feature) {
 			best = p
 		}

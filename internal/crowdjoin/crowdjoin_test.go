@@ -1,6 +1,7 @@
 package crowdjoin
 
 import (
+	"sort"
 	"testing"
 
 	"github.com/corleone-em/corleone/internal/crowd"
@@ -95,10 +96,19 @@ func TestDedup(t *testing.T) {
 		tbl.Append(src.B.Rows[m.B])
 		dupOf[offset+i] = int(m.A)
 	}
+	// Iterate the dup map in sorted order: the seed selection below takes
+	// the first two entries, and map order would make the seeds (and thus
+	// the whole run) differ between invocations.
+	dupRows := make([]int, 0, len(dupOf))
+	for niu := range dupOf {
+		dupRows = append(dupRows, niu)
+	}
+	sort.Ints(dupRows)
 	// Truth over the combined table: (a, offset+i) plus symmetric and the
 	// diagonal, since the crowd may be asked about any orientation.
 	var matches []record.Pair
-	for niu, orig := range dupOf {
+	for _, niu := range dupRows {
+		orig := dupOf[niu]
 		matches = append(matches, record.P(orig, niu), record.P(niu, orig))
 	}
 	for i := 0; i < tbl.Len(); i++ {
@@ -107,13 +117,8 @@ func TestDedup(t *testing.T) {
 	truth := record.NewGroundTruth(matches)
 
 	seeds := []record.Labeled{}
-	added := 0
-	for niu, orig := range dupOf {
-		if added == 2 {
-			break
-		}
-		seeds = append(seeds, record.Labeled{Pair: record.P(orig, niu), Match: true})
-		added++
+	for _, niu := range dupRows[:min(2, len(dupRows))] {
+		seeds = append(seeds, record.Labeled{Pair: record.P(dupOf[niu], niu), Match: true})
 	}
 	seeds = append(seeds,
 		record.Labeled{Pair: record.P(0, 1), Match: truth.Match(record.P(0, 1))},

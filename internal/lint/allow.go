@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// Suppression grammar — the only way to silence a finding:
+//
+//	//corlint:allow <rule-id> — <reason>
+//
+// The comment must sit on the offending line (trailing) or alone on the
+// line directly above it (standalone). Both the rule ID and a non-empty
+// reason are mandatory; "--" is accepted in place of the em dash. A
+// malformed directive or one that suppresses nothing is itself a finding,
+// and neither is suppressible — there are no silent or stale escapes.
+
+const (
+	ruleAllowMalformed = "allow-malformed"
+	ruleAllowUnused    = "allow-unused"
+)
+
+type allowEntry struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+type allowKey struct {
+	file string
+	line int
+}
+
+type allowTable struct {
+	entries map[allowKey][]*allowEntry
+	all     []*allowEntry
+}
+
+// suppress reports whether f is covered by an allow entry on its line,
+// marking the entry used. The meta rules are never suppressible.
+func (t *allowTable) suppress(f Finding) bool {
+	if f.Rule == ruleAllowMalformed || f.Rule == ruleAllowUnused {
+		return false
+	}
+	for _, e := range t.entries[allowKey{f.Pos.Filename, f.Pos.Line}] {
+		if e.rule == f.Rule {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused returns a finding for every allow entry that matched nothing:
+// a stale suppression hides the next real violation on that line, so it
+// must be deleted (or the rule it names fixed) rather than accumulate.
+func (t *allowTable) unused() []Finding {
+	var out []Finding
+	for _, e := range t.all {
+		if !e.used {
+			out = append(out, Finding{
+				Pos:  e.pos,
+				Rule: ruleAllowUnused,
+				Msg:  fmt.Sprintf("corlint:allow %s suppresses nothing on this line", e.rule),
+				Hint: "delete the stale allow comment",
+			})
+		}
+	}
+	return out
+}
+
+// collectAllows scans every file's comments once (files shared between
+// units are deduplicated by name) and returns the suppression table plus
+// findings for malformed directives.
+func collectAllows(units []*Unit, srcs map[string][]byte) (*allowTable, []Finding) {
+	table := &allowTable{entries: make(map[allowKey][]*allowEntry)}
+	var findings []Finding
+	known := KnownRuleIDs()
+	done := make(map[string]bool)
+	for _, u := range units {
+		for _, f := range u.Files {
+			name := u.filename(f)
+			if done[name] {
+				continue
+			}
+			done[name] = true
+			for _, group := range f.Comments {
+				standalone := commentStandsAlone(srcs[name], u.position(group.Pos()))
+				// A standalone comment (or group of them) guards the first
+				// code line after the group; a trailing comment guards its
+				// own line.
+				attach := u.position(group.End()).Line + 1
+				for _, c := range group.List {
+					text := c.Text
+					if !strings.HasPrefix(text, "//corlint:") {
+						continue
+					}
+					pos := u.position(c.Pos())
+					entry, why := parseAllow(text)
+					if entry == nil {
+						findings = append(findings, Finding{
+							Pos:  pos,
+							Rule: ruleAllowMalformed,
+							Msg:  why,
+							Hint: "write //corlint:allow <rule> — <reason>",
+						})
+						continue
+					}
+					if !known[entry.rule] {
+						findings = append(findings, Finding{
+							Pos:  pos,
+							Rule: ruleAllowMalformed,
+							Msg:  fmt.Sprintf("corlint:allow names unknown rule %q", entry.rule),
+							Hint: "write //corlint:allow <rule> — <reason>",
+						})
+						continue
+					}
+					entry.pos = pos
+					line := pos.Line
+					if standalone {
+						line = attach
+					}
+					key := allowKey{pos.Filename, line}
+					table.entries[key] = append(table.entries[key], entry)
+					table.all = append(table.all, entry)
+				}
+			}
+		}
+	}
+	return table, findings
+}
+
+// parseAllow parses one //corlint:... comment. It returns the entry, or
+// nil and a description of what is malformed.
+func parseAllow(text string) (*allowEntry, string) {
+	body := strings.TrimPrefix(text, "//corlint:")
+	if !strings.HasPrefix(body, "allow") {
+		return nil, fmt.Sprintf("unknown corlint directive %q (only corlint:allow exists)", "corlint:"+firstToken(body))
+	}
+	rest := strings.TrimPrefix(body, "allow")
+	if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+		return nil, fmt.Sprintf("unknown corlint directive %q (only corlint:allow exists)", "corlint:"+firstToken(body))
+	}
+	rest = strings.TrimSpace(rest)
+	sep := strings.Index(rest, "—")
+	sepLen := len("—")
+	if sep < 0 {
+		sep = strings.Index(rest, "--")
+		sepLen = len("--")
+	}
+	if sep < 0 {
+		return nil, "corlint:allow is missing the \"— <reason>\" clause"
+	}
+	rule := strings.TrimSpace(rest[:sep])
+	reason := strings.TrimSpace(rest[sep+sepLen:])
+	if rule == "" || strings.ContainsAny(rule, " \t") {
+		return nil, "corlint:allow must name exactly one rule before the dash"
+	}
+	if reason == "" {
+		return nil, "corlint:allow has an empty reason"
+	}
+	return &allowEntry{rule: rule, reason: reason}, ""
+}
+
+func firstToken(s string) string {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}
+
+// commentStandsAlone reports whether only whitespace precedes the comment
+// on its source line, i.e. the comment is not trailing code.
+func commentStandsAlone(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	off := pos.Offset
+	if off > len(src) {
+		return false
+	}
+	for i := off - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true // start of file
+}

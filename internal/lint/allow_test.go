@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// offsetPos builds the minimal token.Position commentStandsAlone needs.
+func offsetPos(off int) token.Position { return token.Position{Offset: off} }
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text    string
+		rule    string
+		reason  string
+		wantErr string // substring of the malformed description, "" = valid
+	}{
+		{"//corlint:allow det-rand — seeded elsewhere", "det-rand", "seeded elsewhere", ""},
+		{"//corlint:allow det-rand -- double dash works", "det-rand", "double dash works", ""},
+		{"//corlint:allow det-time —tight spacing", "det-time", "tight spacing", ""},
+		{"//corlint:allow det-rand", "", "", "missing the \"— <reason>\" clause"},
+		{"//corlint:allow det-rand —", "", "", "empty reason"},
+		{"//corlint:allow det-rand --   ", "", "", "empty reason"},
+		{"//corlint:allow — no rule named", "", "", "must name exactly one rule"},
+		{"//corlint:allow a b — two rules", "", "", "must name exactly one rule"},
+		{"//corlint:ignore det-rand — wrong verb", "", "", "unknown corlint directive"},
+		{"//corlint:allowx det-rand — glued suffix", "", "", "unknown corlint directive"},
+	}
+	for _, tc := range cases {
+		entry, why := parseAllow(tc.text)
+		if tc.wantErr == "" {
+			if entry == nil {
+				t.Errorf("parseAllow(%q) rejected: %s", tc.text, why)
+				continue
+			}
+			if entry.rule != tc.rule || entry.reason != tc.reason {
+				t.Errorf("parseAllow(%q) = (%q, %q), want (%q, %q)",
+					tc.text, entry.rule, entry.reason, tc.rule, tc.reason)
+			}
+			continue
+		}
+		if entry != nil {
+			t.Errorf("parseAllow(%q) accepted, want error containing %q", tc.text, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(why, tc.wantErr) {
+			t.Errorf("parseAllow(%q) error = %q, want substring %q", tc.text, why, tc.wantErr)
+		}
+	}
+}
+
+func TestCommentStandsAlone(t *testing.T) {
+	src := []byte("package p\n\n\t// standalone\nvar x = 1 // trailing\n")
+	standaloneOff := strings.Index(string(src), "// standalone")
+	trailingOff := strings.Index(string(src), "// trailing")
+	if !commentStandsAlone(src, offsetPos(standaloneOff)) {
+		t.Error("indented comment on its own line should stand alone")
+	}
+	if commentStandsAlone(src, offsetPos(trailingOff)) {
+		t.Error("comment after code should not stand alone")
+	}
+	if !commentStandsAlone([]byte("// at start"), offsetPos(0)) {
+		t.Error("comment at file start should stand alone")
+	}
+}

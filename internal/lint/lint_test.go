@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata expect.golden files from current output")
+
+// fixtureConfig mirrors DefaultConfig's shape with fixture-local entries,
+// so the scoping tables themselves are under test rather than bypassed.
+func fixtureConfig() *Config {
+	return &Config{
+		TimeAllowedPkgs:         map[string]bool{"platform": true, "runsvc": true},
+		DurabilityPkgSubstrings: []string{"internal/runsvc", "internal/crowd"},
+		FloatCmpApproved:        map[string]bool{"floateq.approxEq": true},
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestFixtures runs the full driver (load, rules, suppression) over each
+// fixture package and compares against its expect.golden. The synthetic
+// import path is part of the fixture: it selects which package-scoped
+// rules apply (clockok proves the det-time allowlist, durwrite opts into
+// the durability rule).
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name       string
+		importPath string
+	}{
+		{"detrand", "fixture/detrand"},
+		{"dettime", "fixture/dettime"},
+		{"clockok", "fixture/platform"},
+		{"detmaprange", "fixture/detmaprange"},
+		{"floateq", "fixture/floateq"},
+		{"durwrite", "fixture/internal/runsvc/durwrite"},
+		{"concloop", "fixture/concloop"},
+		{"concjoin", "fixture/concjoin"},
+		{"allowok", "fixture/allowok"},
+		{"allowbad", "fixture/allowbad"},
+		{"multifile", "fixture/multifile"},
+		{"clean", "fixture/clean"},
+	}
+	root := moduleRoot(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.name)
+			loader, err := NewLoader(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			units, err := loader.LoadDir(dir, tc.importPath)
+			if err != nil {
+				t.Fatalf("fixture must type-check cleanly: %v", err)
+			}
+			got := renderFindings(Run(units, loader.Srcs, fixtureConfig()))
+
+			goldenPath := filepath.Join(dir, "expect.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings diverge from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// renderFindings formats findings with file basenames so goldens are
+// location-independent.
+func renderFindings(findings []Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		f.Pos.Filename = filepath.Base(f.Pos.Filename)
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	if b.Len() == 0 {
+		return "(no findings)\n"
+	}
+	return b.String()
+}
+
+// TestRuleIDsStable pins the rule table: a rule silently vanishing from
+// the registry would disable enforcement without failing anything else.
+func TestRuleIDsStable(t *testing.T) {
+	want := []string{
+		"det-rand", "det-time", "det-maprange", "float-eq",
+		"dur-ignored-write", "conc-loopcapture", "conc-nojoin",
+	}
+	var got []string
+	for _, r := range Rules() {
+		got = append(got, r.ID())
+		if r.Doc() == "" {
+			t.Errorf("rule %s has no doc line", r.ID())
+		}
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("rule table = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks every package in a module using only the
+// standard library. Module-local imports are resolved by mapping the
+// import path onto the module directory and recursing; standard-library
+// imports go through the compiler's export-data importer, falling back to
+// the source importer on toolchains without export data.
+type Loader struct {
+	Fset    *token.FileSet
+	ModDir  string
+	ModPath string
+	// Srcs maps absolute file names (as recorded in Fset) to raw bytes;
+	// the suppression scanner uses it to classify trailing vs standalone
+	// comments.
+	Srcs map[string][]byte
+	// TypeErrors accumulates every type-check error across packages. A
+	// tree that builds must load clean; anything here is a driver bug or
+	// a broken tree and aborts the lint run.
+	TypeErrors []error
+
+	std      types.Importer
+	src      types.Importer
+	memo     map[string]*basePkg
+	checking map[string]bool
+}
+
+type basePkg struct {
+	path     string
+	dir      string
+	files    []*ast.File // non-test files, sorted by name
+	inFiles  []*ast.File // in-package _test.go files
+	extFiles []*ast.File // external (package foo_test) files
+	pkg      *types.Package
+	info     *types.Info
+	err      error
+}
+
+// NewLoader roots a loader at modDir, reading the module path from
+// go.mod.
+func NewLoader(modDir string) (*Loader, error) {
+	abs, err := filepath.Abs(modDir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: cannot read go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", abs)
+	}
+	return &Loader{
+		Fset:     token.NewFileSet(),
+		ModDir:   abs,
+		ModPath:  modPath,
+		Srcs:     make(map[string][]byte),
+		std:      importer.Default(),
+		memo:     make(map[string]*basePkg),
+		checking: make(map[string]bool),
+	}, nil
+}
+
+// Import implements types.Importer: module-local packages are loaded from
+// source, everything else is delegated to the standard importers.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "C" {
+		return nil, fmt.Errorf("lint: cgo is not supported")
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		bp, err := l.loadBase(path)
+		if err != nil {
+			return nil, err
+		}
+		return bp.pkg, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	if l.src == nil {
+		l.src = importer.ForCompiler(l.Fset, "source", nil)
+	}
+	return l.src.Import(path)
+}
+
+func (l *Loader) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModPath), "/")
+	return filepath.Join(l.ModDir, filepath.FromSlash(rel))
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// loadBase parses and type-checks the non-test files of importPath,
+// memoized. Test files are parsed and stashed for unit building but not
+// checked here.
+func (l *Loader) loadBase(importPath string) (*basePkg, error) {
+	if bp, ok := l.memo[importPath]; ok {
+		return bp, bp.err
+	}
+	if l.checking[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.checking[importPath] = true
+	defer delete(l.checking, importPath)
+
+	bp := &basePkg{path: importPath, dir: l.dirFor(importPath)}
+	bp.err = l.parseDir(bp)
+	if bp.err == nil {
+		if len(bp.files) == 0 {
+			// Test-only directory: type-check the in-package test files
+			// as the package body so they still get analyzed.
+			bp.files, bp.inFiles = bp.inFiles, nil
+		}
+		conf := l.typesConfig()
+		bp.info = newInfo()
+		bp.pkg, _ = conf.Check(importPath, l.Fset, bp.files, bp.info)
+		if bp.pkg == nil {
+			bp.err = fmt.Errorf("lint: type-checking %s produced no package", importPath)
+		}
+	}
+	l.memo[importPath] = bp
+	return bp, bp.err
+}
+
+func (l *Loader) typesConfig() types.Config {
+	return types.Config{
+		Importer: l,
+		Error: func(err error) {
+			l.TypeErrors = append(l.TypeErrors, err)
+		},
+	}
+}
+
+func (l *Loader) parseDir(bp *basePkg) error {
+	entries, err := os.ReadDir(bp.dir)
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("lint: no Go files in %s", bp.dir)
+	}
+	for _, name := range names {
+		full := filepath.Join(bp.dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		l.Srcs[full] = src
+		switch {
+		case !isTestFile(name):
+			bp.files = append(bp.files, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			bp.extFiles = append(bp.extFiles, f)
+		default:
+			bp.inFiles = append(bp.inFiles, f)
+		}
+	}
+	return nil
+}
+
+// units builds the analysis units for one loaded directory: the base
+// package, the in-package test variant, and the external test package.
+func (l *Loader) units(bp *basePkg) []*Unit {
+	all := func(files []*ast.File) map[*ast.File]bool {
+		m := make(map[*ast.File]bool, len(files))
+		for _, f := range files {
+			m[f] = true
+		}
+		return m
+	}
+	out := []*Unit{{
+		Path: bp.path, Kind: BaseUnit, Fset: l.Fset,
+		Files: bp.files, Report: all(bp.files),
+		Pkg: bp.pkg, Info: bp.info,
+	}}
+	if len(bp.inFiles) > 0 {
+		files := append(append([]*ast.File{}, bp.files...), bp.inFiles...)
+		info := newInfo()
+		conf := l.typesConfig()
+		pkg, _ := conf.Check(bp.path, l.Fset, files, info)
+		out = append(out, &Unit{
+			Path: bp.path, Kind: InTestUnit, Fset: l.Fset,
+			Files: files, Report: all(bp.inFiles),
+			Pkg: pkg, Info: info,
+		})
+	}
+	if len(bp.extFiles) > 0 {
+		info := newInfo()
+		conf := l.typesConfig()
+		pkg, _ := conf.Check(bp.path+"_test", l.Fset, bp.extFiles, info)
+		out = append(out, &Unit{
+			Path: bp.path, Kind: ExtTestUnit, Fset: l.Fset,
+			Files: bp.extFiles, Report: all(bp.extFiles),
+			Pkg: pkg, Info: info,
+		})
+	}
+	return out
+}
+
+// LoadModule loads every package directory under the module root
+// (skipping testdata, hidden, and underscore-prefixed directories) and
+// returns all analysis units in deterministic order.
+func (l *Loader) LoadModule() ([]*Unit, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.ModDir &&
+				(name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasPrefix(d.Name(), ".") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var units []*Unit
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := l.ModPath
+		if rel != "." {
+			importPath = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		bp, err := l.loadBase(importPath)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, l.units(bp)...)
+	}
+	if len(l.TypeErrors) > 0 {
+		return units, fmt.Errorf("lint: %d type errors, first: %v", len(l.TypeErrors), l.TypeErrors[0])
+	}
+	return units, nil
+}
+
+// LoadDir loads a single directory as a standalone package under the
+// given synthetic import path. Used by the fixture tests, where the
+// import path chooses which package-scoped rules apply.
+func (l *Loader) LoadDir(dir, importPath string) ([]*Unit, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	bp := &basePkg{path: importPath, dir: abs}
+	if err := l.parseDir(bp); err != nil {
+		return nil, err
+	}
+	if len(bp.files) == 0 {
+		bp.files, bp.inFiles = bp.inFiles, nil
+	}
+	conf := l.typesConfig()
+	bp.info = newInfo()
+	bp.pkg, _ = conf.Check(importPath, l.Fset, bp.files, bp.info)
+	l.memo[importPath] = bp
+	units := l.units(bp)
+	if len(l.TypeErrors) > 0 {
+		return units, fmt.Errorf("lint: %d type errors, first: %v", len(l.TypeErrors), l.TypeErrors[0])
+	}
+	return units, nil
+}

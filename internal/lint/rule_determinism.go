@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ---- det-rand: package-level math/rand draws from the process-global,
+// time-seeded source, so two identical runs diverge. Every sampling path
+// in the engine threads an explicit *rand.Rand built from Config.Seed;
+// this rule keeps it that way.
+
+type detRand struct{}
+
+func (detRand) ID() string { return "det-rand" }
+func (detRand) Doc() string {
+	return "forbid the process-global math/rand source; all randomness must flow from an explicit seed"
+}
+
+// Constructors are fine — they are how seeded generators get built.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func (detRand) Check(u *Unit, cfg *Config) []Finding {
+	var out []Finding
+	for _, f := range u.reportFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(u, sel)
+			if fn == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  u.position(sel.Pos()),
+				Rule: "det-rand",
+				Msg:  fmt.Sprintf("rand.%s uses the process-global random source; runs are not reproducible", fn.Name()),
+				Hint: "thread a seeded *rand.Rand (rand.New(rand.NewSource(seed))) from Config.Seed",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// ---- det-time: wall-clock reads make output depend on when the run
+// happened. Only the live-platform client and the journaling service
+// (operator-facing timestamps) may read the clock; benchmarks measure
+// time by nature and are exempt by file suffix.
+
+type detTime struct{}
+
+func (detTime) ID() string { return "det-time" }
+func (detTime) Doc() string {
+	return "forbid wall-clock reads (time.Now/Since/Until) outside the allowlisted platform/runsvc packages and benchmarks"
+}
+
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func (detTime) Check(u *Unit, cfg *Config) []Finding {
+	if cfg.TimeAllowedPkgs[pkgBase(u.Path)] {
+		return nil
+	}
+	var out []Finding
+	for _, f := range u.reportFiles() {
+		if isBenchFile(u.filename(f)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(u, sel)
+			if fn == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  u.position(sel.Pos()),
+				Rule: "det-time",
+				Msg:  fmt.Sprintf("time.%s reads the wall clock in a deterministic package", fn.Name()),
+				Hint: "inject the clock (or move the timing into platform/runsvc/benchmarks)",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func isBenchFile(name string) bool {
+	const suffix = "bench_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// ---- det-maprange: Go randomizes map iteration order, so a map range
+// whose body appends, sends, or writes publishes that randomness. The
+// rule accepts the loop when the enclosing function shows sorting
+// evidence (a sort/slices call) — the repo idiom is "collect keys, sort,
+// iterate" or "collect results, sort, emit".
+
+type detMapRange struct{}
+
+func (detMapRange) ID() string { return "det-maprange" }
+func (detMapRange) Doc() string {
+	return "forbid emitting (append/send/write) from a map range without a sort in the same function"
+}
+
+func (detMapRange) Check(u *Unit, cfg *Config) []Finding {
+	var out []Finding
+	for _, f := range u.reportFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Sorting anywhere in the function (including nested
+			// literals) counts: the dominant repo shapes are sort-then-
+			// range and range-append-then-sort, both deterministic.
+			sorted := containsSortCall(u, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := typeUnderlying[*types.Map](u, rs.X); !isMap {
+					return true
+				}
+				if sorted || !emitsInBody(u, rs.Body) {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:  u.position(rs.Pos()),
+					Rule: "det-maprange",
+					Msg:  "map iteration order is random and this loop emits per-key results",
+					Hint: "collect the keys, sort them, then iterate (or sort the collected output)",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// typeUnderlying returns e's underlying type asserted to T.
+func typeUnderlying[T types.Type](u *Unit, e ast.Expr) (T, bool) {
+	t := u.Info.TypeOf(e)
+	if t == nil {
+		var zero T
+		return zero, false
+	}
+	v, ok := t.Underlying().(T)
+	return v, ok
+}
+
+// containsSortCall reports sorting evidence: a call into sort/slices or
+// to any function whose name mentions sorting — the repo's own helpers
+// (record.SortPairs, intsSort) count the same as the stdlib.
+func containsSortCall(u *Unit, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := pkgFunc(u, call.Fun); fn != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				found = true
+				return false
+			}
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if strings.Contains(strings.ToLower(name), "sort") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// emitMethods are receiver methods that publish data in map-range bodies.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Print": true, "Printf": true, "Println": true, "Emit": true,
+}
+
+// emitFuncs are package-level printers that publish data.
+var emitFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func emitsInBody(u *Unit, body *ast.BlockStmt) bool {
+	emits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			emits = true
+			return false
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				if b, ok := u.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					emits = true
+					return false
+				}
+			}
+			if fn := pkgFunc(u, x.Fun); fn != nil && emitFuncs[fn.Name()] {
+				emits = true
+				return false
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if _, isMethod := u.Info.Selections[sel]; isMethod && emitMethods[sel.Sel.Name] {
+					emits = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return emits
+}

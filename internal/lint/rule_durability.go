@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ---- dur-ignored-write: the PR-1 review hand-patched a class of bugs
+// where a journal write's error vanished — a crash after an unflushed or
+// failed write silently loses paid crowd answers. This rule bans the
+// class mechanically on the journaled write paths (runsvc, crowd): a
+// statement or defer that calls Encode/Write/Flush/Sync/Close and drops
+// the returned error is a finding. Cleanup-path discards (closing a file
+// while an earlier error already propagates) stay legal via a reasoned
+// allow, which is exactly the audit trail the review asked for.
+//
+// strings.Builder and bytes.Buffer never return a non-nil error, and test
+// files clean up scratch files constantly; both are exempt.
+
+type durIgnoredWrite struct{}
+
+func (durIgnoredWrite) ID() string { return "dur-ignored-write" }
+func (durIgnoredWrite) Doc() string {
+	return "forbid dropping errors from Encode/Write/Flush/Sync/Close on journaled write paths"
+}
+
+var durMethods = map[string]bool{
+	"Encode": true, "Write": true, "WriteString": true,
+	"Flush": true, "Sync": true, "Close": true,
+}
+
+// infallibleWriters always return a nil error by contract.
+var infallibleWriters = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+func (durIgnoredWrite) Check(u *Unit, cfg *Config) []Finding {
+	applies := false
+	for _, sub := range cfg.DurabilityPkgSubstrings {
+		if strings.Contains(u.Path, sub) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+	var out []Finding
+	for _, f := range u.reportFiles() {
+		if isTestFile(u.filename(f)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := "call"
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+				kind = "defer"
+			case *ast.AssignStmt:
+				// `_ = f.Close()` discards just as silently as a bare
+				// call; an explicit discard needs an allow with a reason.
+				if len(s.Rhs) != 1 || !allBlank(s.Lhs) {
+					return true
+				}
+				call, _ = s.Rhs[0].(*ast.CallExpr)
+				kind = "blank-assigned"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !durMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := u.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || !lastResultIsError(sig) {
+				return true
+			}
+			if infallibleWriters[namedType(u.Info.TypeOf(sel.X))] {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			out = append(out, Finding{
+				Pos:  u.position(call.Pos()),
+				Rule: "dur-ignored-write",
+				Msg:  fmt.Sprintf("error from %s %s.%s dropped on a durability path", kind, recv, sel.Sel.Name),
+				Hint: "check the error; a deliberate cleanup-path discard needs //corlint:allow with the reason",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t := res.At(res.Len() - 1).Type()
+	return t.String() == "error" && types.IsInterface(t)
+}

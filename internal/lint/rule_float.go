@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// ---- float-eq: exact float comparison is order- and optimization-
+// sensitive — the simindex ε-slackening and the forest's Gini tie-breaks
+// only stay bit-identical because every exact comparison is deliberate.
+// ==/!= on float operands and switches over float tags are confined to
+// the approved comparator helpers in Config.FloatCmpApproved; everything
+// else either routes through a helper or carries a reasoned allow.
+//
+// Two comparisons are exempt by construction:
+//   - against the constant zero: 0 is exactly representable, and the
+//     tree's `norm == 0` division guards and `Price == 0` config
+//     sentinels are well-defined — the dangerous class is comparing two
+//     computed values;
+//   - x != x, the portable NaN probe.
+//
+// Test files are exempt: the equivalence suites pin optimized paths
+// bit-for-bit against references, and exact comparison is the point.
+
+type floatEq struct{}
+
+func (floatEq) ID() string { return "float-eq" }
+func (floatEq) Doc() string {
+	return "forbid ==/!=/switch on float operands outside approved comparator helpers"
+}
+
+func (floatEq) Check(u *Unit, cfg *Config) []Finding {
+	var out []Finding
+	base := pkgBase(u.Path)
+	for _, f := range u.reportFiles() {
+		if isTestFile(u.filename(f)) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if cfg.FloatCmpApproved[base+"."+fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.BinaryExpr:
+					if x.Op != token.EQL && x.Op != token.NEQ {
+						return true
+					}
+					if !isFloatType(u.Info.TypeOf(x.X)) && !isFloatType(u.Info.TypeOf(x.Y)) {
+						return true
+					}
+					if sameObject(u, x.X, x.Y) {
+						// x != x is the portable NaN probe; keep it.
+						return true
+					}
+					if isZeroConst(u, x.X) || isZeroConst(u, x.Y) {
+						return true
+					}
+					out = append(out, Finding{
+						Pos:  u.position(x.OpPos),
+						Rule: "float-eq",
+						Msg:  fmt.Sprintf("exact float comparison (%s) outside an approved comparator helper", x.Op),
+						Hint: "compare with an epsilon, or route through an approved comparator helper (Config.FloatCmpApproved)",
+					})
+				case *ast.SwitchStmt:
+					if x.Tag == nil || !isFloatType(u.Info.TypeOf(x.Tag)) {
+						return true
+					}
+					out = append(out, Finding{
+						Pos:  u.position(x.Switch),
+						Rule: "float-eq",
+						Msg:  "switch over a float tag performs exact comparisons case by case",
+						Hint: "rewrite as explicit range checks or an approved comparator helper",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// sameObject reports whether both expressions are identifiers resolving
+// to the same object (the x != x NaN idiom).
+func sameObject(u *Unit, a, b ast.Expr) bool {
+	ia, ok1 := a.(*ast.Ident)
+	ib, ok2 := b.(*ast.Ident)
+	if !ok1 || !ok2 {
+		return false
+	}
+	oa := u.Info.Uses[ia]
+	return oa != nil && oa == u.Info.Uses[ib]
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to 0.
+func isZeroConst(u *Unit, e ast.Expr) bool {
+	tv, ok := u.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

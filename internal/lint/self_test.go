@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean runs the full suite over the module itself, so the
+// tree cannot drift lint-dirty between CI runs of cmd/corlint: `go test`
+// alone catches a new violation or a stale allow.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; skipped in -short mode")
+	}
+	loader, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(units, loader.Srcs, DefaultConfig())
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}

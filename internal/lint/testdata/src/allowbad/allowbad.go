@@ -1,0 +1,24 @@
+// Package allowbad seeds every malformed or stale suppression shape. The
+// meta rules (allow-malformed, allow-unused) must fire, and a malformed
+// allow must NOT silence the underlying finding on its line.
+package allowbad
+
+import "math/rand"
+
+// Shapes holds one malformed directive per line; every line also keeps
+// its det-rand finding.
+func Shapes() int {
+	a := rand.Intn(3) //corlint:allow det-rand
+	b := rand.Intn(3) //corlint:allow no-such-rule — typo in the rule id
+	c := rand.Intn(3) //corlint:ignore det-rand — wrong verb
+	d := rand.Intn(3) //corlint:allow det-rand det-time — names two rules
+	e := rand.Intn(3) //corlint:allow det-rand —
+	return a + b + c + d + e
+}
+
+// Stale carries an allow that suppresses nothing; allow-unused fires at
+// the comment.
+func Stale() int {
+	//corlint:allow det-time — nothing on the next line reads the clock
+	return 42
+}

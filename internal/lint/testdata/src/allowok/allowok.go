@@ -1,0 +1,24 @@
+// Package allowok carries real violations that are all legally
+// suppressed; the expected finding set is empty.
+package allowok
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Trailing suppression on the offending line.
+func Jitter() int {
+	return rand.Intn(10) //corlint:allow det-rand — fixture exercises trailing suppression
+}
+
+// Double-dash separator is accepted in place of the em dash.
+func Jitter2() float64 {
+	return rand.Float64() //corlint:allow det-rand -- double-dash separator accepted
+}
+
+// Standalone suppression on the line directly above.
+func Stamp() time.Time {
+	//corlint:allow det-time — fixture exercises standalone suppression
+	return time.Now()
+}

@@ -1,0 +1,44 @@
+// Package clean is the zero-findings fixture: seeded randomness, sorted
+// map iteration, checked errors, joined goroutines, no allow comments.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Keys collects map keys and sorts before returning — the repo idiom.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sample threads an explicit seeded generator.
+func Sample(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(100)
+	}
+	return out
+}
+
+// Parallel passes loop state as arguments and joins on a WaitGroup.
+func Parallel(xs []int, f func(int) int) []int {
+	out := make([]int, len(xs))
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i, x int) {
+			defer wg.Done()
+			out[i] = f(x)
+		}(i, xs[i])
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,10 @@
+// Package clockok is loaded under an import path whose final element is
+// "platform", so its wall-clock reads are allowlisted: zero findings.
+package clockok
+
+import "time"
+
+// Deadline reads the clock, legally for this package.
+func Deadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout)
+}

@@ -1,0 +1,41 @@
+// Package concjoin seeds conc-nojoin violations: goroutines launched in
+// functions with no visible join.
+package concjoin
+
+import "sync"
+
+// FireAndForget has no join anywhere in the function; flagged at the go
+// statement.
+func FireAndForget(work func()) {
+	go work() // want conc-nojoin
+}
+
+// Both launches twice with no join; each go statement is flagged.
+func Both(a, b func()) {
+	go a() // want conc-nojoin
+	go b() // want conc-nojoin
+}
+
+// ChannelJoined signals completion over a channel; the receive is the
+// join evidence. Not flagged.
+func ChannelJoined(work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// GroupJoined uses a WaitGroup; not flagged.
+func GroupJoined(works []func()) {
+	var wg sync.WaitGroup
+	for i := range works {
+		wg.Add(1)
+		go func(w func()) {
+			defer wg.Done()
+			w()
+		}(works[i])
+	}
+	wg.Wait()
+}

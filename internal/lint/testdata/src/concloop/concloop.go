@@ -1,0 +1,52 @@
+// Package concloop seeds conc-loopcapture violations. Every function
+// joins with a WaitGroup so only the capture rule fires.
+package concloop
+
+import "sync"
+
+// Fan closes over the range variable x inside the goroutine; flagged at
+// the captured ident.
+func Fan(xs []int) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total += x // want conc-loopcapture
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Index closes over the classic for-loop index; flagged.
+func Index(n int, out []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i // want conc-loopcapture (reported once per ident name)
+		}()
+	}
+	wg.Wait()
+}
+
+// Explicit passes the loop variable as an argument — the mandated style.
+// The ident in the call's argument list is outside the literal body, so
+// nothing is flagged.
+func Explicit(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			_ = x
+		}(x)
+	}
+	wg.Wait()
+}

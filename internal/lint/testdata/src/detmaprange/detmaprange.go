@@ -1,0 +1,55 @@
+// Package detmaprange seeds det-maprange violations: emitting from a map
+// range in functions with no sorting evidence.
+package detmaprange
+
+import "sort"
+
+// Leak appends per-key results in map order with no sort anywhere in the
+// function; flagged.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want det-maprange
+		out = append(out, k)
+	}
+	return out
+}
+
+// SendLeak publishes map entries to a channel in map order; flagged.
+func SendLeak(m map[int]int, ch chan<- int) {
+	for _, v := range m { // want det-maprange
+		ch <- v
+	}
+}
+
+// SortedAfter collects from the map and sorts before anyone can observe
+// the order — the repo idiom; not flagged.
+func SortedAfter(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HelperSorted relies on a repo-style sorting helper rather than the
+// stdlib; the name is the evidence. Not flagged.
+func HelperSorted(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	intsSort(out)
+	return out
+}
+
+func intsSort(xs []int) { sort.Ints(xs) }
+
+// Aggregate is commutative (no append/send/write); not flagged.
+func Aggregate(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,14 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGlobal draws from the global source inside an in-package test file;
+// det-rand has no test exemption, so the in-test unit reports it.
+func TestGlobal(t *testing.T) {
+	if rand.Intn(2) > 1 { // want det-rand
+		t.Fatal("impossible")
+	}
+}

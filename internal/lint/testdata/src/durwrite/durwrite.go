@@ -1,0 +1,46 @@
+// Package durwrite seeds dur-ignored-write violations. It is loaded under
+// an import path containing "internal/runsvc", so the durability rule
+// applies.
+package durwrite
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+)
+
+// Journal drops errors three ways: a bare call, a defer, and a blank
+// assignment. All three are flagged.
+func Journal(f *os.File, v any) {
+	defer f.Close() // want dur-ignored-write
+	enc := json.NewEncoder(f)
+	enc.Encode(v) // want dur-ignored-write
+	_ = f.Sync()  // want dur-ignored-write
+}
+
+// Checked is the legal shape: every error is propagated.
+func Checked(f *os.File, v any) error {
+	if err := json.NewEncoder(f).Encode(v); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Buffered drops a bufio write and its flush; both are flagged.
+func Buffered(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("x") // want dur-ignored-write
+	bw.Flush()          // want dur-ignored-write
+}
+
+// Builder writes to a strings.Builder, which cannot fail; exempt.
+func Builder() string {
+	var b strings.Builder
+	b.WriteString("x")
+	return b.String()
+}

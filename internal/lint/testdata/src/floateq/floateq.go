@@ -1,0 +1,45 @@
+// Package floateq seeds float-eq violations: exact comparison of
+// computed float values outside an approved comparator helper.
+package floateq
+
+// Equal compares two computed floats exactly; flagged.
+func Equal(a, b float64) bool {
+	return a == b // want float-eq
+}
+
+// Branch mixes a flagged != with a legal zero guard.
+func Branch(x, y float64) float64 {
+	if x != y { // want float-eq
+		return x - y
+	}
+	if y == 0 { // exact-zero guard: exempt
+		return 1
+	}
+	return x / y
+}
+
+// SwitchTag switches over a float tag; flagged once at the switch.
+func SwitchTag(v float64) int {
+	switch v { // want float-eq
+	case 1.5:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsNaN uses the x != x probe; exempt.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// approxEq is the fixture's approved comparator helper (the test config
+// approves "floateq.approxEq"); exact comparison inside it is legal.
+func approxEq(a, b float64) bool {
+	return a == b
+}
+
+// Uses routes through the approved helper; not flagged.
+func Uses(a, b float64) bool {
+	return approxEq(a, b)
+}

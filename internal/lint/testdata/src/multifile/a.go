@@ -1,0 +1,11 @@
+// Package multifile spreads violations across two files to pin the
+// multi-file reporting path (findings sorted per file, no cross-file
+// leakage).
+package multifile
+
+import "math/rand"
+
+// A draws from the global source; flagged in a.go.
+func A() int {
+	return rand.Intn(2) // want det-rand
+}

@@ -1,0 +1,8 @@
+package multifile
+
+import "time"
+
+// B reads the wall clock; flagged in b.go.
+func B() time.Time {
+	return time.Now() // want det-time
+}

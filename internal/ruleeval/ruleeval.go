@@ -73,6 +73,7 @@ func SelectTopK(cands []Candidate, contradicting map[int]bool, k int) []Candidat
 		ss[i] = scored{c: c, ub: float64(len(c.Coverage)-bad) / float64(len(c.Coverage))}
 	}
 	sort.SliceStable(ss, func(i, j int) bool {
+		//corlint:allow float-eq — deterministic sort comparator: exactly equal upper bounds fall through to the coverage tie-break
 		if ss[i].ub != ss[j].ub {
 			return ss[i].ub > ss[j].ub
 		}

@@ -53,6 +53,7 @@ func (b *broker) publish(e Event) Event {
 	}
 	e.Seq = len(b.history)
 	b.history = append(b.history, e)
+	//corlint:allow det-maprange — fan-out to independent subscriber channels: each subscriber sees every event in Seq order; cross-subscriber delivery order is not observable state
 	for _, ch := range b.subs {
 		select {
 		case ch <- e:

@@ -143,6 +143,7 @@ func streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	//corlint:allow dur-ignored-write — HTTP response body, not journal state; a failure means the client hung up and there is no one to report it to
 	_ = json.NewEncoder(w).Encode(v)
 }
 

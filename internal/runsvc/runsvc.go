@@ -151,6 +151,7 @@ func (m *Manager) Resume(id string) (*Job, error) {
 		return nil, err
 	}
 	rec, err := jl.ReadSpec()
+	//corlint:allow dur-ignored-write — spec read-back only; nothing was written through this handle
 	jl.Close()
 	if err != nil {
 		return nil, err
@@ -256,7 +257,9 @@ func (m *Manager) enqueue(spec Spec, id string, resume bool) (*Job, error) {
 		jl, err := m.store.Open(id)
 		if err == nil {
 			err = jl.WriteSpec(spec.Name, spec.Meta)
-			jl.Close()
+			if cerr := jl.Close(); err == nil {
+				err = cerr
+			}
 		}
 		if err != nil {
 			rollback()
@@ -329,6 +332,7 @@ func (m *Manager) execute(j *Job) {
 			// but every flushed batch boundary is intact — exactly the
 			// state a killed process leaves behind.
 			if jl != nil {
+				//corlint:allow dur-ignored-write — crash cleanup; the job is already terminal and every batch boundary was synced
 				jl.Close()
 			}
 			j.finish(StateCrashed, nil, fmt.Errorf("runsvc: job crashed: %v", p), jl)
@@ -349,6 +353,7 @@ func (m *Manager) execute(j *Job) {
 		if j.resume {
 			labels, batches, err := jl.Replay(runner)
 			if err != nil {
+				//corlint:allow dur-ignored-write — replay failure cleanup; the replay error propagates and nothing was written
 				jl.Close()
 				j.finish(StateFailed, nil, err, nil)
 				return
@@ -406,7 +411,9 @@ func (m *Manager) execute(j *Job) {
 		state = StateCanceled
 	}
 	if jl != nil {
-		jl.Close()
+		if cerr := jl.Close(); cerr != nil && err == nil {
+			state, err = StateFailed, cerr
+		}
 	}
 	j.finish(state, res, err, jl)
 }

@@ -50,10 +50,10 @@ func TestBuildSpecValidation(t *testing.T) {
 
 func TestSanitizeName(t *testing.T) {
 	for in, want := range map[string]string{
-		"Restaurants":   "restaurants",
-		"My Job_v2.1":   "my-job-v2-1",
-		"!!!":           "job",
-		"a-b":           "a-b",
+		"Restaurants": "restaurants",
+		"My Job_v2.1": "my-job-v2-1",
+		"!!!":         "job",
+		"a-b":         "a-b",
 	} {
 		if got := sanitizeName(in); got != want {
 			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)

@@ -264,10 +264,16 @@ func ExactMatch(a, b string) float64 {
 	return 0
 }
 
+// exactEq is the audited comparator for deliberate bitwise float
+// equality (corlint float-eq approves it; see DESIGN.md "Enforced
+// invariants"). Exact comparison is order- and optimization-sensitive in
+// general; routing through one named helper keeps each use reviewable.
+func exactEq(a, b float64) bool { return a == b }
+
 // RelativeDiff returns 1 - |a-b| / max(|a|, |b|), a scale-free numeric
 // similarity in [0,1]. Equal values (including 0, 0) give 1.
 func RelativeDiff(a, b float64) float64 {
-	if a == b {
+	if exactEq(a, b) {
 		return 1
 	}
 	m := math.Max(math.Abs(a), math.Abs(b))

@@ -287,15 +287,15 @@ func levenshteinRef(a, b string) int {
 // difference), and arbitrary strings.
 func TestLevenshteinTrimExact(t *testing.T) {
 	cases := [][2]string{
-		{"sony vaio laptop 15", "sony vaio laptop 17"},   // long shared prefix
-		{"black usb cable 2m", "white usb cable 2m"},     // long shared suffix
-		{"kingston hyperx", "kingston value hyperx"},     // prefix+suffix, insertion
-		{"abcdef", "abc"},                                // containment: exit = len diff
-		{"abc", "abcdef"},                                // containment, other side
-		{"abcdef", "abcdef"},                             // identical: trims to empty
-		{"", "abc"}, {"abc", ""}, {"", ""},               // empty edges
-		{"aaaa", "aa"},                                   // repeated runes trim greedily
-		{"réservé", "reserve"},                           // multibyte runes
+		{"sony vaio laptop 15", "sony vaio laptop 17"}, // long shared prefix
+		{"black usb cable 2m", "white usb cable 2m"},   // long shared suffix
+		{"kingston hyperx", "kingston value hyperx"},   // prefix+suffix, insertion
+		{"abcdef", "abc"},                  // containment: exit = len diff
+		{"abc", "abcdef"},                  // containment, other side
+		{"abcdef", "abcdef"},               // identical: trims to empty
+		{"", "abc"}, {"abc", ""}, {"", ""}, // empty edges
+		{"aaaa", "aa"},         // repeated runes trim greedily
+		{"réservé", "reserve"}, // multibyte runes
 	}
 	for _, c := range cases {
 		if got, want := Levenshtein(c[0], c[1]), levenshteinRef(c[0], c[1]); got != want {

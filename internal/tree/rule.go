@@ -141,6 +141,7 @@ func (r Rule) Key() string {
 func (r *Rule) SortPredsByCost(cost func(feature int) float64) {
 	sort.SliceStable(r.Preds, func(i, j int) bool {
 		ci, cj := cost(r.Preds[i].Feature), cost(r.Preds[j].Feature)
+		//corlint:allow float-eq — deterministic sort comparator: exactly equal costs fall through to the feature-index tie-break
 		if ci != cj {
 			return ci < cj
 		}

@@ -1,13 +1,23 @@
 #!/bin/sh
-# Full verification: vet, build, and the complete test suite under the
-# race detector. Tier-1 (go build && go test) is a subset; this is the
-# bar for changes touching concurrency — the run service executes many
-# engine pipelines in parallel.
+# Full verification: format gate, vet, corlint, build, and the complete
+# test suite under the race detector. Tier-1 (go build && go test) is a
+# subset; this is the bar for changes touching concurrency — the run
+# service executes many engine pipelines in parallel.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+# Formatting is a hard gate: gofmt -l prints offending files, so any
+# output fails the run with the list in the log.
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt: unformatted files:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
 go vet ./...
+go run ./cmd/corlint ./...
 go build ./...
 go test -race ./...
 
@@ -18,5 +28,5 @@ go test -race ./...
 BENCH_OUT="$(mktemp)"
 trap 'rm -f "$BENCH_OUT"' EXIT
 BENCH_OUT="$BENCH_OUT" sh scripts/bench.sh smoke
-python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$BENCH_OUT" ||
+go run ./cmd/corlint -jsoncheck "$BENCH_OUT" ||
 	{ echo "bench-smoke: invalid JSON" >&2; exit 1; }
