@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint verify bench bench-smoke
+.PHONY: build test lint verify bench bench-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,14 @@ lint:
 # gofmt gate + lint + build + full suite under the race detector.
 verify:
 	sh scripts/verify.sh
+
+# Chaos suite under the race detector: every seeded fault schedule
+# (transport 5xx bursts/drops/latency, torn journal writes, kill-points)
+# drives a full engine run through the HTTP marketplace and the resume
+# journal, and must converge bit-identically to the unfaulted baseline
+# with no double-pay. -count=1 forces a fresh run past the test cache.
+chaos:
+	$(GO) test -race -count=1 -v -run 'TestChaosSchedules' ./internal/faultkit
 
 # Hot-path benchmarks -> BENCH_PR3.json (ns/op, allocs, speedup pairs,
 # and a memory section contrasting the streaming umbrella set with full

@@ -6,8 +6,10 @@
 package crowd
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
+	"time"
 
 	"github.com/corleone-em/corleone/internal/record"
 )
@@ -16,6 +18,45 @@ import (
 // represents a distinct worker answering one question.
 type Crowd interface {
 	Answer(p record.Pair) bool
+}
+
+// CrowdErr is the error-aware answer path. A crowd that can genuinely fail
+// — a remote marketplace with outages, timeouts, straggling workers —
+// implements it alongside Answer; the Runner detects it and re-solicits
+// transient failures with backoff instead of recording a fabricated
+// answer. Implementations classify failures by wrapping ErrUnavailable,
+// ErrTimeout, or ErrCanceled (matched with errors.Is).
+type CrowdErr interface {
+	Crowd
+	AnswerErr(p record.Pair) (bool, error)
+}
+
+var (
+	// ErrUnavailable reports that the crowd channel failed before an answer
+	// could be obtained (transport failure, marketplace outage). Nothing was
+	// paid; the caller may retry.
+	ErrUnavailable = errors.New("crowd: unavailable")
+	// ErrTimeout reports that the crowd accepted the question but produced
+	// no answer within the adapter's deadline — an abandoned or straggling
+	// assignment. The caller may retry.
+	ErrTimeout = errors.New("crowd: answer timed out")
+	// ErrCanceled reports that cancellation fired while an answer was in
+	// flight. Never retried.
+	ErrCanceled = errors.New("crowd: canceled")
+)
+
+// RetryConfig bounds the Runner's re-solicitation of a failing CrowdErr
+// adapter. Zero values select the defaults; a plain Crowd cannot fail and
+// is never retried.
+type RetryConfig struct {
+	// Attempts is the maximum number of AnswerErr calls per answer
+	// (default 3).
+	Attempts int
+	// Base is the backoff before the second attempt, doubling per retry
+	// (default 50ms).
+	Base time.Duration
+	// Max caps the backoff (default 1s).
+	Max time.Duration
 }
 
 // Oracle is a perfect crowd: every answer equals the ground truth. It is
@@ -98,6 +139,12 @@ type Accounting struct {
 	Cost float64
 	// HITs is the number of 10-question HITs posted (training batches).
 	HITs int
+	// Degraded reports that at least one answer could not be obtained this
+	// session: the crowd channel failed past the retry budget and the
+	// affected pairs were left unsettled rather than guessed. It is not
+	// restored on resume — a resumed session that re-solicits successfully
+	// clears the condition by construction.
+	Degraded bool
 }
 
 // entry is a cached labeling of one pair: all answers solicited so far and
@@ -130,6 +177,15 @@ type Runner struct {
 	// replay is the queue of recorded training batches to serve instead of
 	// live packing (see QueueReplayBatches).
 	replay [][]record.Pair
+	// inBatch is true while LabelTrainingBatch is labeling; it suppresses
+	// the every-HITSize flush boundary inside Label so labels never become
+	// durable mid-batch without their batch record — a crash in that window
+	// would otherwise make a resumed run pack HITs differently than the
+	// journaled history.
+	inBatch bool
+
+	// Retry bounds re-solicitation when the crowd implements CrowdErr.
+	Retry RetryConfig
 
 	// AfterBatch, when non-nil, is called at crowd batch boundaries — after
 	// each training batch, after each LabelAll, and after every HITSize
@@ -137,10 +193,12 @@ type Runner struct {
 	// labels here so a killed process re-pays at most one batch.
 	AfterBatch func()
 	// OnBatch, when non-nil, is called with each live training batch right
-	// after AfterBatch, in the exact composition LabelTrainingBatch
+	// before AfterBatch, in the exact composition LabelTrainingBatch
 	// returned. A journal records the batch so a resumed run can replay the
 	// identical packing decisions (batch packing depends on cache state,
-	// which differs on resume — see QueueReplayBatches).
+	// which differs on resume — see QueueReplayBatches). It runs before
+	// AfterBatch so the batch record is durable before the batch's labels
+	// are (see finishBatch for why the order matters).
 	OnBatch func(batch []Labeled)
 	// Cancel, when non-nil, makes the runner stop engaging the crowd as
 	// soon as the channel closes: no further questions are solicited, and an
@@ -266,17 +324,80 @@ func (r *Runner) canceled() bool {
 	}
 }
 
+// askCrowd obtains one answer, re-soliciting transient failures with
+// capped exponential backoff when the crowd implements CrowdErr. A plain
+// Crowd cannot fail and is asked exactly once. Returns ErrCanceled as soon
+// as the runner is canceled (including mid-backoff); ErrUnavailable or
+// ErrTimeout only after the retry budget is exhausted.
+func (r *Runner) askCrowd(p record.Pair) (bool, error) {
+	ce, ok := r.crowd.(CrowdErr)
+	if !ok {
+		return r.crowd.Answer(p), nil
+	}
+	attempts := r.Retry.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	backoff := r.Retry.Base
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxBackoff := r.Retry.Max
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			// Back off before retrying; a close of Cancel abandons the wait
+			// immediately (a nil Cancel blocks that arm forever, which is
+			// exactly the no-cancellation behavior).
+			select {
+			case <-r.Cancel:
+				return false, ErrCanceled
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		if r.canceled() {
+			return false, ErrCanceled
+		}
+		var a bool
+		a, err = ce.AnswerErr(p)
+		if err == nil {
+			return a, nil
+		}
+		if errors.Is(err, ErrCanceled) {
+			return false, ErrCanceled
+		}
+	}
+	return false, err
+}
+
 // solicit asks the crowd for one more answer on p and records it. It
 // reports whether an answer was actually recorded: when the runner is
 // canceled it neither contacts the crowd nor records anything, and an
 // answer that arrives while cancellation is in effect is discarded — a
-// canceled crowd adapter (e.g. platform.RemoteCrowd) returns a fabricated
-// answer, and recording one would corrupt the label cache and accounting.
+// canceled crowd adapter (e.g. platform.RemoteCrowd) may return a
+// fabricated answer, and recording one would corrupt the label cache and
+// accounting. A crowd failure that survives the retry budget also records
+// nothing and marks the accounting Degraded: the caller leaves the entry
+// unsettled, the run continues with the labels it has, and a later round
+// or a resumed session settles the pair.
 func (r *Runner) solicit(p record.Pair, e *entry) bool {
 	if r.canceled() {
 		return false
 	}
-	a := r.crowd.Answer(p)
+	a, err := r.askCrowd(p)
+	if err != nil {
+		if !errors.Is(err, ErrCanceled) {
+			r.acct.Degraded = true
+		}
+		return false
+	}
 	if r.canceled() {
 		return false
 	}
@@ -286,11 +407,13 @@ func (r *Runner) solicit(p record.Pair, e *entry) bool {
 	return true
 }
 
-// abortVoting ends a Label call interrupted by cancellation. Genuine
-// answers already recorded are kept (and stay journal-dirty, so they are
-// flushed as in-flight votes), but the entry is not settled — a resumed
-// run tops the votes up under the full stopping rule. An entry that had
-// settled at a weaker policy before this call keeps that label.
+// abortVoting ends a Label call interrupted by cancellation or by a crowd
+// failure that exhausted the retry budget. Genuine answers already
+// recorded are kept (and stay journal-dirty, so they are flushed as
+// in-flight votes), but the entry is not settled — a resumed run or a
+// later labeling round tops the votes up under the full stopping rule. An
+// entry that had settled at a weaker policy before this call keeps that
+// label.
 func (r *Runner) abortVoting(e *entry) bool {
 	if !e.voted {
 		e.label, _ = majority(e.answers)
@@ -366,9 +489,11 @@ func (r *Runner) Label(p record.Pair, policy Policy) bool {
 	e.voted = true
 	// Individual Label calls (rule evaluation, estimation sampling) have no
 	// explicit batch structure; treat every HITSize settles as a boundary so
-	// journals flush at the same granularity as posted HITs.
+	// journals flush at the same granularity as posted HITs. Suppressed
+	// inside a training batch: its labels must not become durable before the
+	// batch record is (see finishBatch).
 	r.sinceFlush++
-	if r.sinceFlush >= HITSize {
+	if r.sinceFlush >= HITSize && !r.inBatch {
 		r.batchBoundary()
 	}
 	return lbl
@@ -405,6 +530,8 @@ func (r *Runner) LabelAll(pairs []record.Pair, policy Policy) []record.Labeled {
 // for at the same point, so live packing would diverge from the journaled
 // trajectory.
 func (r *Runner) LabelTrainingBatch(pairs []record.Pair, policy Policy) []record.Labeled {
+	r.inBatch = true
+	defer func() { r.inBatch = false }()
 	if len(r.replay) > 0 {
 		rec := r.replay[0]
 		r.replay = r.replay[1:]
@@ -443,13 +570,19 @@ func (r *Runner) LabelTrainingBatch(pairs []record.Pair, policy Policy) []record
 }
 
 // finishBatch runs the batch-boundary hooks for a live training batch:
-// AfterBatch first (journals flush settled labels), then OnBatch with the
-// batch composition (journals record the packing for exact replay).
+// OnBatch first, with the batch composition (journals make the batch
+// record durable), then AfterBatch via batchBoundary (journals flush the
+// batch's labels). The order closes a crash window: were labels durable
+// before the batch record, a crash between the two would let a resumed run
+// find the pairs cached and pack HITs differently than the journaled
+// history. The inverse window — batch record durable, labels lost — is
+// harmless: the recorded batch replays through the queue and its
+// unjournaled answers are re-solicited live.
 func (r *Runner) finishBatch(out []record.Labeled) {
-	r.batchBoundary()
 	if r.OnBatch != nil {
 		r.OnBatch(out)
 	}
+	r.batchBoundary()
 }
 
 // QueueReplayBatches loads recorded training-batch compositions (oldest

@@ -1,0 +1,87 @@
+package faultkit
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// FlakyCrowd wraps a crowd with seeded per-ask failures and an
+// operator-driven outage switch — the marketplace-free test double for a
+// lossy crowd channel. It implements crowd.CrowdErr: failures surface as
+// crowd.ErrUnavailable, never as fabricated labels. Safe for concurrent
+// use.
+type FlakyCrowd struct {
+	// Inner answers the asks that survive injection.
+	Inner crowd.Crowd
+	// PFail is the per-ask failure probability from the seeded stream.
+	PFail float64
+	// FailFirst deterministically fails the first N asks — the simplest
+	// way to pin a retry-then-succeed trace in a test.
+	FailFirst int
+	// Seed feeds the failure stream.
+	Seed int64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	asks  int
+	fails int
+	down  bool
+}
+
+var _ crowd.CrowdErr = (*FlakyCrowd)(nil)
+
+// SetDown opens (true) or closes (false) a total outage window: while
+// down, every ask fails regardless of probabilities.
+func (f *FlakyCrowd) SetDown(down bool) {
+	f.mu.Lock()
+	f.down = down
+	f.mu.Unlock()
+}
+
+// Asks reports total asks seen; Fails reports how many were failed.
+func (f *FlakyCrowd) Asks() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.asks
+}
+
+// Fails reports how many asks were injected as failures.
+func (f *FlakyCrowd) Fails() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fails
+}
+
+// AnswerErr implements crowd.CrowdErr.
+func (f *FlakyCrowd) AnswerErr(p record.Pair) (bool, error) {
+	f.mu.Lock()
+	f.asks++
+	ask := f.asks
+	fail := f.down || ask <= f.FailFirst
+	if !fail && f.PFail > 0 {
+		if f.rng == nil {
+			f.rng = rand.New(rand.NewSource(f.Seed))
+		}
+		fail = f.rng.Float64() < f.PFail
+	}
+	if fail {
+		f.fails++
+	}
+	f.mu.Unlock()
+	if fail {
+		return false, fmt.Errorf("%w: injected crowd fault (ask %d)", crowd.ErrUnavailable, ask)
+	}
+	return f.Inner.Answer(p), nil
+}
+
+// Answer implements crowd.Crowd for callers that cannot observe errors;
+// a failure degenerates to false. The Runner never takes this path — it
+// detects CrowdErr and calls AnswerErr.
+func (f *FlakyCrowd) Answer(p record.Pair) bool {
+	a, err := f.AnswerErr(p)
+	return err == nil && a
+}

@@ -1,0 +1,87 @@
+package faultkit
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/corleone-em/corleone/internal/runsvc"
+)
+
+// JournalSchedule is a seeded fault plan for runsvc journal appends — the
+// disk half of the chaos harness. It injects the two failure shapes a
+// hard-killed process leaves behind: torn trailing writes (a prefix of the
+// line reaches the page cache, then the process dies) and kill-points
+// right after a record is written but before the caller acts on it.
+// Safe for concurrent use.
+type JournalSchedule struct {
+	// Seed feeds the fault stream; equal seeds replay equal decisions.
+	Seed int64
+	// PTear is the per-line probability of a torn write. A tear always
+	// crashes the process (runsvc.WriteFault semantics): no surviving
+	// process can observe its own torn line.
+	PTear float64
+	// PKill is the per-line probability of a kill-point after the line is
+	// fully written.
+	PKill float64
+	// Files, when non-empty, restricts injection to these journal base
+	// names (e.g. "batches.jsonl"); empty faults every journal file.
+	Files []string
+	// Limit, when > 0, caps total injected faults so a chaos resume loop
+	// converges.
+	Limit int
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected int
+}
+
+// FaultFunc adapts the schedule to the runsvc store seam
+// (runsvc.Store.Faults). The returned hook is deterministic in the
+// (seed, append sequence) pair.
+func (js *JournalSchedule) FaultFunc() runsvc.FaultFunc {
+	return func(file string, line []byte) *runsvc.WriteFault {
+		js.mu.Lock()
+		defer js.mu.Unlock()
+		if js.rng == nil {
+			js.rng = rand.New(rand.NewSource(js.Seed))
+		}
+		if js.Limit > 0 && js.injected >= js.Limit {
+			return nil
+		}
+		if len(js.Files) > 0 {
+			found := false
+			for _, f := range js.Files {
+				if f == file {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil
+			}
+		}
+		u := js.rng.Float64()
+		switch {
+		case u < js.PTear:
+			js.injected++
+			// Tear strictly inside the line so Store.Open has a real
+			// repair to perform (cutting at 0 would be a plain kill-point).
+			cut := 1
+			if len(line) > 1 {
+				cut = 1 + js.rng.Intn(len(line)-1)
+			}
+			return &runsvc.WriteFault{Torn: cut}
+		case u < js.PTear+js.PKill:
+			js.injected++
+			return &runsvc.WriteFault{Torn: -1, Crash: true}
+		}
+		return nil
+	}
+}
+
+// Injected reports how many journal faults have fired so far.
+func (js *JournalSchedule) Injected() int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.injected
+}

@@ -43,6 +43,11 @@ type HIT struct {
 	RewardCents int `json:"reward_cents"`
 	// MaxAssignments is how many distinct workers may answer (votes).
 	MaxAssignments int `json:"max_assignments"`
+	// IdemKey, when set, dedupes creation: posting two HITs with the same
+	// key registers one and returns its id both times, which makes
+	// CreateHIT safe to retry through dropped responses. Clients mint keys
+	// automatically (Client.CreateHIT).
+	IdemKey string `json:"idem_key,omitempty"`
 }
 
 // Assignment is one worker's claim on a HIT.
@@ -84,6 +89,12 @@ type Server struct {
 	open        []string // HIT ids with assignment capacity left
 	paidCents   int
 	assignments map[string]*Assignment
+	// idem maps idempotency keys to HIT ids so retried CreateHITs
+	// dedupe instead of double-posting.
+	idem map[string]string
+	// submitted remembers paid assignment ids so a retried Submit (after a
+	// dropped response) is a paid-once no-op instead of an error.
+	submitted map[string]bool
 }
 
 type hitState struct {
@@ -98,6 +109,8 @@ func NewServer() *Server {
 	return &Server{
 		hits:        map[string]*hitState{},
 		assignments: map[string]*Assignment{},
+		idem:        map[string]string{},
+		submitted:   map[string]bool{},
 	}
 }
 
@@ -122,6 +135,11 @@ func (s *Server) CreateHIT(h HIT) (string, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if h.IdemKey != "" {
+		if id, ok := s.idem[h.IdemKey]; ok {
+			return id, nil
+		}
+	}
 	s.nextID++
 	h.ID = fmt.Sprintf("HIT%06d", s.nextID)
 	st := &hitState{hit: &h, claimed: map[string]bool{}}
@@ -131,6 +149,9 @@ func (s *Server) CreateHIT(h HIT) (string, error) {
 	}
 	s.hits[h.ID] = st
 	s.open = append(s.open, h.ID)
+	if h.IdemKey != "" {
+		s.idem[h.IdemKey] = h.ID
+	}
 	return h.ID, nil
 }
 
@@ -159,9 +180,14 @@ func (s *Server) ClaimNext(worker string) *Assignment {
 }
 
 // Submit records a worker's answers for an assignment and pays them.
+// Submitting the same assignment twice — a client retrying through a
+// dropped response — is a paid-once no-op.
 func (s *Server) Submit(assignmentID string, answers []bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.submitted[assignmentID] {
+		return nil
+	}
 	a, ok := s.assignments[assignmentID]
 	if !ok {
 		return fmt.Errorf("platform: unknown assignment %q", assignmentID)
@@ -177,6 +203,7 @@ func (s *Server) Submit(assignmentID string, answers []bool) error {
 	}
 	st.submitted++
 	s.paidCents += st.hit.RewardCents * len(st.hit.Questions)
+	s.submitted[assignmentID] = true
 	delete(s.assignments, assignmentID)
 	if st.submitted >= st.hit.MaxAssignments {
 		// Remove from the open list.

@@ -1,0 +1,189 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// httpError is a non-2xx marketplace response. The status code classifies
+// retryability: 5xx means the server or an intermediary failed and the
+// same request may succeed later; 4xx means the request itself is wrong
+// and retrying cannot help.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("platform: HTTP %d: %s", e.code, e.msg)
+}
+
+// retryable reports whether err is worth retrying on an idempotent call:
+// transport failures (connection drops, client timeouts, torn response
+// bodies) and 5xx responses are; 4xx responses, empty-queue 204s, and an
+// open circuit are not — the first two cannot improve, and the breaker's
+// whole point is to fail fast without another wire attempt.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, errNoContent) || errors.Is(err, ErrCircuitOpen) {
+		return false
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.code >= 500
+	}
+	return true
+}
+
+// RetryPolicy retries idempotent marketplace calls with capped exponential
+// backoff and seeded deterministic jitter. Only calls that are idempotent
+// — GETs, idempotency-keyed HIT creation, assignment-id-deduped submits —
+// may pass through a policy; Claim never does (a retried claim could hand
+// the same worker two assignments). Safe for concurrent use.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, first call included (<=0 means 1).
+	MaxAttempts int
+	// Base is the backoff before the second attempt, doubling per retry.
+	Base time.Duration
+	// Max caps a single backoff sleep (0 = uncapped).
+	Max time.Duration
+	// Budget, when > 0, caps the summed backoff per Do call, so a failure
+	// burst cannot stall a caller unboundedly.
+	Budget time.Duration
+	// Cancel, when non-nil, abandons backoff waits as soon as it closes.
+	Cancel <-chan struct{}
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetryPolicy returns the default policy — 4 attempts, 50ms base
+// backoff doubling to a 2s cap, 5s total budget — with jitter seeded from
+// seed so every retry trace is replayable.
+func NewRetryPolicy(seed int64) *RetryPolicy {
+	return &RetryPolicy{
+		MaxAttempts: 4,
+		Base:        50 * time.Millisecond,
+		Max:         2 * time.Second,
+		Budget:      5 * time.Second,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// jitter scales d by a deterministic factor in [0.5, 1.0]: enough spread
+// to decorrelate concurrent retriers, bounded so backoff stays a backoff.
+func (rp *RetryPolicy) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.rng == nil {
+		rp.rng = rand.New(rand.NewSource(1))
+	}
+	return d/2 + time.Duration(rp.rng.Int63n(int64(d/2)+1))
+}
+
+// Do runs fn until it succeeds, fails terminally (non-retryable), or the
+// attempt/budget bounds run out; the last error is returned.
+func (rp *RetryPolicy) Do(fn func() error) error {
+	attempts := rp.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	backoff := rp.Base
+	var spent time.Duration
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			d := rp.jitter(backoff)
+			if rp.Budget > 0 && spent+d > rp.Budget {
+				return err
+			}
+			select {
+			case <-rp.Cancel:
+				return err
+			case <-time.After(d):
+			}
+			spent += d
+			backoff *= 2
+			if rp.Max > 0 && backoff > rp.Max {
+				backoff = rp.Max
+			}
+		}
+		err = fn()
+		if !retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// ErrCircuitOpen is returned without a wire attempt while the breaker is
+// open. Callers see the outage immediately instead of stacking timeouts.
+var ErrCircuitOpen = errors.New("platform: circuit open")
+
+// Breaker is a consecutive-failure circuit breaker. After Threshold
+// consecutive retryable failures it opens: calls fail fast with
+// ErrCircuitOpen until Cooldown elapses, then a single probe call is let
+// through (half-open) and its outcome closes or re-opens the circuit.
+// Successes and non-retryable errors (a 4xx proves the service is
+// reachable) reset the failure count. Safe for concurrent use.
+type Breaker struct {
+	// Threshold is the consecutive-failure trip point (default 5).
+	Threshold int
+	// Cooldown is how long the circuit stays open before half-opening
+	// (default 1s).
+	Cooldown time.Duration
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+	probing   bool
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return time.Second
+	}
+	return b.Cooldown
+}
+
+// allow reports whether a call may proceed, returning ErrCircuitOpen when
+// the circuit is open (or a half-open probe is already in flight).
+func (b *Breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failures < b.threshold() {
+		return nil
+	}
+	if time.Now().Before(b.openUntil) || b.probing {
+		return ErrCircuitOpen
+	}
+	b.probing = true
+	return nil
+}
+
+// record feeds a call's outcome back into the breaker.
+func (b *Breaker) record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if !retryable(err) {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold() {
+		b.openUntil = time.Now().Add(b.cooldown())
+	}
+}

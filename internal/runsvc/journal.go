@@ -35,6 +35,76 @@ import (
 // Store manages the journal root directory.
 type Store struct {
 	root string
+
+	// Faults, when non-nil, intercepts every journal line append for fault
+	// injection (torn writes, kill-points — see FaultFunc). Chaos/test use
+	// only; production stores leave it nil. Set it before Open: each
+	// journal copies the hook at open time.
+	Faults FaultFunc
+}
+
+// WriteFault describes one injected journal-append fault, the disk-side
+// half of the faultkit chaos harness.
+type WriteFault struct {
+	// Torn, when >= 0, truncates the append to that many prefix bytes —
+	// the torn line a hard kill mid-write leaves — and then crashes
+	// unconditionally: a torn write the process survived would fuse with
+	// the next append and corrupt the journal, which no real kill can
+	// produce. Negative means the full line is written.
+	Torn int
+	// Crash, when true, panics with the crash sentinel after the full line
+	// reaches the file — the kill-point between journal records. The
+	// written line survives (the page cache persists within the process
+	// lifetime), matching a kill that lands after write but before sync.
+	Crash bool
+	// Err, when non-nil, fails the append without touching the file — a
+	// full disk or I/O error surfaced to the journaling path.
+	Err error
+}
+
+// FaultFunc decides the fault for one journal line append: file is the
+// journal file's base name ("labels.jsonl", "batches.jsonl",
+// "checkpoints.jsonl"), line the complete encoded line including the
+// trailing newline. Returning nil performs a normal write. Implementations
+// must be deterministic (faultkit derives them from seeds) so every chaos
+// failure replays from its seed.
+type FaultFunc func(file string, line []byte) *WriteFault
+
+// faultWriter routes one journal file's appends through the store's fault
+// hook. Each Write call carries one complete encoded line —
+// json.Encoder.Encode writes its buffer in a single call, as does each
+// AppendLabels entry — which is what makes per-line tear and kill-point
+// injection exact.
+type faultWriter struct {
+	f      *os.File
+	name   string
+	faults FaultFunc
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	if w.faults == nil {
+		return w.f.Write(p)
+	}
+	fault := w.faults(w.name, p)
+	if fault == nil {
+		return w.f.Write(p)
+	}
+	if fault.Err != nil {
+		return 0, fault.Err
+	}
+	if fault.Torn >= 0 && fault.Torn < len(p) {
+		//corlint:allow dur-ignored-write — injected crash: the torn prefix deliberately goes unchecked and unsynced, simulating a kill mid-write; Store.Open repairs the tail on resume
+		w.f.Write(p[:fault.Torn])
+		panic(crashSentinel{})
+	}
+	n, err := w.f.Write(p)
+	if err != nil {
+		return n, err
+	}
+	if fault.Crash {
+		panic(crashSentinel{})
+	}
+	return n, nil
 }
 
 // NewStore opens (creating if needed) a journal store rooted at dir.
@@ -106,6 +176,11 @@ func (s *Store) Open(id string) (*Journal, error) {
 		j.Close()
 		return nil, err
 	}
+	// All appends route through the store's fault hook (a nil hook is a
+	// plain passthrough), so chaos schedules can tear or kill any line.
+	j.labelsW = &faultWriter{f: j.labels, name: "labels.jsonl", faults: s.Faults}
+	j.batchesW = &faultWriter{f: j.batches, name: "batches.jsonl", faults: s.Faults}
+	j.checksW = &faultWriter{f: j.checks, name: "checkpoints.jsonl", faults: s.Faults}
 	return j, nil
 }
 
@@ -116,6 +191,12 @@ type Journal struct {
 	labels  *os.File
 	batches *os.File
 	checks  *os.File
+
+	// labelsW/batchesW/checksW wrap the files with the store's fault hook;
+	// every line append goes through them (Sync still hits the files).
+	labelsW  io.Writer
+	batchesW io.Writer
+	checksW  io.Writer
 
 	// batchesWritten counts appendBatch calls; failAfterBatches, when
 	// positive, makes the journal panic after that many batch appends —
@@ -240,7 +321,7 @@ func (j *Journal) ReadSpec() (specRecord, error) {
 
 // FlushLabels appends the runner's dirty label entries and syncs.
 func (j *Journal) FlushLabels(r *crowd.Runner) error {
-	n, err := r.AppendLabels(j.labels)
+	n, err := r.AppendLabels(j.labelsW)
 	if err != nil {
 		return err
 	}
@@ -259,21 +340,25 @@ type batchRecord struct {
 	HITs  int        `json:"hits,omitempty"`
 }
 
-// AppendBatch records one training batch's composition. Labels are flushed
-// first so every journaled batch's labels are always readable at replay —
-// the ordering that makes replay exact.
+// AppendBatch records one training batch's composition, then flushes the
+// batch's labels. The batch record goes first: a crash between the two
+// leaves a journaled batch with missing labels, which replays harmlessly —
+// the batch is served by the replay queue and its unjournaled answers are
+// re-solicited live. The inverse order would leave durable labels with no
+// batch record, and a resumed run would find those pairs cached and pack
+// HITs differently than the journaled history.
 func (j *Journal) AppendBatch(r *crowd.Runner, batch []crowd.Labeled) error {
-	if err := j.FlushLabels(r); err != nil {
-		return err
-	}
 	line := batchRecord{Pairs: make([][2]int32, len(batch)), HITs: r.Stats().HITs}
 	for i, l := range batch {
 		line.Pairs[i] = [2]int32{l.Pair.A, l.Pair.B}
 	}
-	if err := json.NewEncoder(j.batches).Encode(line); err != nil {
+	if err := json.NewEncoder(j.batchesW).Encode(line); err != nil {
 		return err
 	}
 	if err := j.batches.Sync(); err != nil {
+		return err
+	}
+	if err := j.FlushLabels(r); err != nil {
 		return err
 	}
 	j.batchesWritten++
@@ -310,7 +395,7 @@ func (j *Journal) Checkpoint(r *crowd.Runner, cp engine.Checkpoint) error {
 		HITs:      cp.Accounting.HITs,
 		Time:      time.Now().UTC().Format(time.RFC3339),
 	}
-	if err := json.NewEncoder(j.checks).Encode(rec); err != nil {
+	if err := json.NewEncoder(j.checksW).Encode(rec); err != nil {
 		return err
 	}
 	if err := j.checks.Sync(); err != nil {

@@ -326,6 +326,7 @@ func (m *Manager) execute(j *Job) {
 
 	var jl *Journal
 	runner := crowd.NewRunner(j.spec.Crowd, price(j.spec.Config))
+	runner.Retry = j.spec.Retry
 	defer func() {
 		if p := recover(); p != nil {
 			// A hard stop mid-run: journal files may hold a partial tail,

@@ -45,6 +45,10 @@ type Spec struct {
 	// Meta, when non-nil, is the serializable description stored in the
 	// journal. When Dataset/Crowd are nil they are built from it.
 	Meta *Meta
+	// Retry bounds the runner's re-solicitation when Crowd implements
+	// crowd.CrowdErr (zero values = the crowd package defaults). Tests and
+	// chaos runs shrink it to keep wall clock down.
+	Retry crowd.RetryConfig
 }
 
 // Meta is the serializable job description: everything needed to

@@ -19,6 +19,13 @@ fi
 go vet ./...
 go run ./cmd/corlint ./...
 go build ./...
+
+# Chaos smoke: one transport schedule and one kill-point schedule run
+# first, without -race, so a resilience regression surfaces in seconds
+# instead of at the end of the long race run. The race run that follows
+# covers the full schedule matrix (chaos suite included).
+go test -count=1 -run 'TestChaosSchedules/(5xx-burst|kill-points)' ./internal/faultkit
+
 go test -race ./...
 
 # Bench-smoke sanity: every benchmark must still run (one iteration) and
