@@ -30,9 +30,19 @@ verify:
 chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaosSchedules' ./internal/faultkit
 
-# Hot-path benchmarks -> BENCH_PR3.json (ns/op, allocs, speedup pairs,
-# and a memory section contrasting the streaming umbrella set with full
-# materialization).
+# Sharded-execution gate under the race detector: the blocker-level
+# equivalence/determinism tests, the shard runtime's own suite, the
+# service-level remote fan-out test, and the shard-worker chaos schedules
+# (worker crash + 5xx failover converging bit-identically).
+shard:
+	$(GO) test -race -count=1 ./internal/shard
+	$(GO) test -race -count=1 -run 'TestSharded' ./internal/blocker
+	$(GO) test -race -count=1 -run 'TestManagerRemoteShardExecution|TestHealthzAndMetrics' ./internal/runsvc
+	$(GO) test -race -count=1 -v -run 'TestShardWorkerChaos' ./internal/faultkit
+
+# Hot-path benchmarks -> BENCH_PR6.json (ns/op, allocs, speedup pairs,
+# a memory section contrasting the streaming umbrella set with full
+# materialization, and the sharded-blocking worker sweep).
 # `bench` takes minutes and gives stable numbers; `bench-smoke` runs every
 # benchmark once so CI can prove the harness works in seconds.
 bench:

@@ -44,6 +44,8 @@ func main() {
 	budget := flag.Float64("budget", 0, "stop after spending this many dollars (0 = no budget)")
 	out := flag.String("out", "", "write matches to this CSV (default stdout)")
 	seed := flag.Int64("seed", 1, "random seed")
+	shards := flag.Int("shards", 0, "blocking shards: 0 = auto by table size, 1 = single index, >1 = that many shards")
+	shardWorkers := flag.Int("shard-workers", 0, "concurrent shard workers during blocking (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print pipeline progress")
 	flag.Parse()
 
@@ -69,6 +71,8 @@ func main() {
 	cfg.PricePerQuestion = *price
 	cfg.Budget = *budget
 	cfg.Seed = *seed
+	cfg.Blocker.Shards = *shards
+	cfg.Blocker.ShardWorkers = *shardWorkers
 	if *verbose || *crowdKind == "self" {
 		cfg.Listener = func(e corleone.Event) {
 			fmt.Fprintf(os.Stderr, "[%s] %s ($%.2f spent, %d pairs)\n",

@@ -19,21 +19,14 @@ import (
 )
 
 func main() {
-	name := flag.String("dataset", "Restaurants", "Restaurants | Citations | Products")
+	name := flag.String("dataset", "Restaurants", "Restaurants | Citations | Products | Scale-1M")
 	scale := flag.Float64("scale", 1.0, "scale factor for table sizes")
 	seed := flag.Int64("seed", 0, "override the profile's generation seed (0 = default)")
 	dir := flag.String("dir", ".", "output directory")
 	flag.Parse()
 
-	var base datagen.Profile
-	switch *name {
-	case "Restaurants":
-		base = datagen.RestaurantsPaper
-	case "Citations":
-		base = datagen.CitationsPaper
-	case "Products":
-		base = datagen.ProductsPaper
-	default:
+	base, ok := datagen.ProfileByName(*name)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *name)
 		os.Exit(2)
 	}

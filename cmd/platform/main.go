@@ -42,15 +42,8 @@ func main() {
 	server := platform.NewServer()
 
 	if *workers > 0 {
-		var base datagen.Profile
-		switch *dataset {
-		case "Restaurants":
-			base = datagen.RestaurantsPaper
-		case "Citations":
-			base = datagen.CitationsPaper
-		case "Products":
-			base = datagen.ProductsPaper
-		default:
+		base, ok := datagen.ProfileByName(*dataset)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "platform: unknown dataset %q\n", *dataset)
 			os.Exit(2)
 		}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/corleone-em/corleone/internal/datagen"
+	"github.com/corleone-em/corleone/internal/feature"
+	"github.com/corleone-em/corleone/internal/shard"
+)
+
+// indexableFeature finds a feature the shard index can anchor (the load
+// handler rejects specs anchored on non-indexable features).
+func indexableFeature(t *testing.T) int {
+	t.Helper()
+	ds, err := datagen.DatasetFor("restaurants", 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := feature.NewExtractor(ds)
+	for i, f := range ex.Features() {
+		if f.Kind == "jaccard_w" {
+			return i
+		}
+	}
+	t.Fatal("no jaccard_w feature")
+	return -1
+}
+
+// TestGracefulShutdown pins the signal path: the worker serves until a
+// SIGINT arrives, then serve returns cleanly and the listener is closed to
+// new connections.
+func TestGracefulShutdown(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := shard.NewWorker()
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(lis, w.Handler(), sigs) }()
+	base := "http://" + lis.Addr().String()
+
+	// The worker is live: health answers and a job loads + probes.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	spec := shard.JobSpec{Job: "j", Dataset: "restaurants", Scale: 0.2, Shards: 2, Feature: indexableFeature(t)}
+	body, _ := json.Marshal(spec)
+	resp, err = http.Post(base+"/shard/load", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load = %d", resp.StatusCode)
+	}
+
+	sigs <- syscall.SIGINT
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after signal, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after signal")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting connections after shutdown")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/corleone-em/corleone/internal/feature"
 	"github.com/corleone-em/corleone/internal/record"
 	"github.com/corleone-em/corleone/internal/ruleeval"
+	"github.com/corleone-em/corleone/internal/shard"
 	"github.com/corleone-em/corleone/internal/tree"
 )
 
@@ -38,6 +39,25 @@ type Config struct {
 	// instead of a materialized Result.Candidates slice, which is then left
 	// nil. See Sink's contract for chunk-reuse rules.
 	Sink Sink
+	// Shards selects the rule-application execution strategy: 1 (or
+	// negative) forces the single-index path, >1 forces that many shards,
+	// and 0 — the default — chooses automatically by indexed-table size
+	// (shard.Choose). The emitted umbrella set is bit-identical at every
+	// setting.
+	Shards int
+	// ShardWorkers bounds the shard coordinator's fan-out width (<=0 means
+	// GOMAXPROCS locally; for remote execution, set it to the worker
+	// process count).
+	ShardWorkers int
+	// Exec, when non-nil, runs shard tasks — e.g. a shard.RemoteExecutor
+	// over worker processes. Nil means in-process execution.
+	Exec shard.Executor
+	// Job names the job in shard tasks (remote workers key their loaded
+	// state on it); empty defaults to the dataset name.
+	Job string
+	// ShardStats, when non-nil, accumulates shard dispatch/retry counts
+	// (runsvc's /metrics reads them live).
+	ShardStats *shard.Stats
 }
 
 // Defaults returns the paper's configuration.
@@ -178,12 +198,22 @@ func Run(ds *record.Dataset, ex *feature.Extractor, runner *crowd.Runner, cfg Co
 	res.Selected = greedySelect(kept, X, len(ds.A.Rows), len(ds.B.Rows), cfg.TB, ex.Cost)
 
 	// Apply the selected rules to A×B: the planner drives candidate
-	// generation through the similarity-join index when a selected rule can
-	// anchor it, and through the parallel exhaustive scan otherwise.
-	if cfg.Sink != nil {
-		applyRulesTo(ds, ex, res.Selected, cfg.Sink)
-	} else {
-		res.Candidates = applyRules(ds, ex, res.Selected)
+	// generation through the sharded coordinator or the single
+	// similarity-join index when a selected rule can anchor it, and through
+	// the parallel exhaustive scan otherwise.
+	ec := execConfig{
+		shards:  cfg.Shards,
+		workers: cfg.ShardWorkers,
+		exec:    cfg.Exec,
+		job:     cfg.Job,
+		stats:   cfg.ShardStats,
+	}
+	sink := cfg.Sink
+	if sink == nil {
+		sink = collectSink(&res.Candidates)
+	}
+	if err := applyRulesTo(ds, ex, res.Selected, ec, sink); err != nil {
+		return nil, fmt.Errorf("blocker: applying rules: %w", err)
 	}
 	return res, nil
 }

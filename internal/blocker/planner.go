@@ -3,10 +3,11 @@ package blocker
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/corleone-em/corleone/internal/feature"
 	"github.com/corleone-em/corleone/internal/record"
-	"github.com/corleone-em/corleone/internal/similarity"
+	"github.com/corleone-em/corleone/internal/shard"
 	"github.com/corleone-em/corleone/internal/simindex"
 	"github.com/corleone-em/corleone/internal/tree"
 )
@@ -77,71 +78,64 @@ func planRules(ex *feature.Extractor, rules []tree.Rule) plan {
 	return best
 }
 
-// verifier evaluates the full rule set on one pair with lazily computed,
-// memoized features — the exact §4.3 semantics both candidate-generation
-// strategies share, which is why their outputs are bit-identical.
-type verifier struct {
-	ex      *feature.Extractor
-	rules   []tree.Rule
-	vals    []float64
-	have    []bool
-	scratch *similarity.Scratch
+// newVerifier evaluates the full rule set on one pair with lazily
+// computed, memoized features — the exact §4.3 semantics every candidate-
+// generation strategy shares, which is why their outputs are bit-identical.
+// The evaluator itself lives in the shard package so in-process scans and
+// shard workers (local or remote) provably run the same code.
+func newVerifier(ex *feature.Extractor, rules []tree.Rule) *shard.Verifier {
+	return shard.NewVerifier(ex, rules)
 }
 
-func newVerifier(ex *feature.Extractor, rules []tree.Rule) *verifier {
-	return &verifier{
-		ex:      ex,
-		rules:   rules,
-		vals:    make([]float64, ex.NumFeatures()),
-		have:    make([]bool, ex.NumFeatures()),
-		scratch: similarity.NewScratch(),
-	}
-}
-
-// survives reports whether no rule eliminates p.
-func (v *verifier) survives(p record.Pair) bool {
-	for i := range v.have {
-		v.have[i] = false
-	}
-	get := func(f int) float64 {
-		if !v.have[f] {
-			v.vals[f] = v.ex.ComputeScratch(f, p, v.scratch)
-			v.have[f] = true
-		}
-		return v.vals[f]
-	}
-	for _, r := range v.rules {
-		if r.MatchesFunc(get) {
-			return false
-		}
-	}
-	return true
+// execConfig carries the execution-strategy knobs from Config into the
+// planner: shard count (0 = automatic), fan-out width, an optional
+// executor override (the remote worker path), the job id shard tasks carry,
+// and an optional stats sink.
+type execConfig struct {
+	shards  int
+	workers int
+	exec    shard.Executor
+	job     string
+	stats   *shard.Stats
 }
 
 // applyRulesTo streams the survivors of the selected rules over A×B to
 // sink, in (a, b)-lexicographic order: the planner routes candidate
-// generation through the similarity-join index when a rule is
-// index-friendly and through the parallel exhaustive scan otherwise. The
-// emitted pair stream is identical either way (every candidate is verified
-// against all rules by the same evaluator); only the number of pairs
-// visited differs.
-func applyRulesTo(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule, sink Sink) {
+// generation through the sharded coordinator when the anchor index is
+// large enough (or sharding is forced), through the single similarity-join
+// index when a rule is index-friendly, and through the parallel exhaustive
+// scan otherwise. The emitted pair stream is identical in all cases (every
+// candidate is verified against all rules by the same evaluator); only the
+// number of pairs visited and where the work runs differ. The returned
+// error is always nil for in-process strategies; only a remote executor
+// can fail.
+func applyRulesTo(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule, ec execConfig, sink Sink) error {
 	if len(rules) == 0 {
 		emitAllPairs(ds, sink)
-		return
+		return nil
 	}
-	if p := planRules(ex, rules); p.indexed {
-		applyRulesIndexedTo(ds, ex, rules, p, sink)
-		return
+	p := planRules(ex, rules)
+	if !p.indexed {
+		// Sharding partitions an inverted index; a rule set with no
+		// indexable anchor always runs the in-process exhaustive scan.
+		applyRulesScanTo(ds, ex, rules, sink)
+		return nil
 	}
-	applyRulesScanTo(ds, ex, rules, sink)
+	k := shard.Choose(ec.shards, ds.B.Len())
+	if k > 1 || ec.exec != nil {
+		return applyRulesShardedTo(ds, ex, rules, p, k, ec, sink)
+	}
+	applyRulesIndexedTo(ds, ex, rules, p, sink)
+	return nil
 }
 
 // applyRules materializes the survivor stream — the historical signature
-// Run and the tests use.
+// Run and the tests use. In-process strategies cannot fail, so no error.
 func applyRules(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule) []record.Pair {
 	var out []record.Pair
-	applyRulesTo(ds, ex, rules, collectSink(&out))
+	if err := applyRulesTo(ds, ex, rules, execConfig{shards: 1}, collectSink(&out)); err != nil {
+		panic("blocker: in-process applyRules failed: " + err.Error())
+	}
 	return out
 }
 
@@ -181,7 +175,7 @@ func applyRulesScanTo(ds *record.Dataset, ex *feature.Extractor, rules []tree.Ru
 				}
 				for i := lo; i < hi; i++ {
 					p := record.Pair{A: int32(i / nb), B: int32(i % nb)}
-					if v.survives(p) {
+					if v.Survives(p) {
 						buf = append(buf, p)
 					}
 				}
@@ -239,7 +233,7 @@ func applyRulesIndexedTo(ds *record.Dataset, ex *feature.Extractor, rules []tree
 				for a := lo; a < hi; a++ {
 					for _, b := range ix.Candidates(profA[a], p.theta, is) {
 						pair := record.Pair{A: int32(a), B: b}
-						if v.survives(pair) {
+						if v.Survives(pair) {
 							buf = append(buf, pair)
 						}
 					}
@@ -249,4 +243,61 @@ func applyRulesIndexedTo(ds *record.Dataset, ex *feature.Extractor, rules []tree
 		}()
 	}
 	wg.Wait()
+}
+
+// applyRulesShardedTo generates candidates through K independent shard
+// indexes driven by the shard coordinator: the probe space is cut into
+// (A-row-block × shard) tasks, executed in-process (k goroutine workers
+// over a prebuilt shard group) or on remote worker processes when an
+// executor override is configured. The coordinator delivers results in
+// task order — block-major, shard-minor — so the K consecutive survivor
+// lists of one probe block are K-way merged by (a, b) and emitted; the
+// resulting stream is byte-identical to applyRulesIndexedTo's at every K,
+// worker count, and completion order. Per-shard candidate SUPERSETS do
+// differ from the single index's (prefix-filter token order depends on
+// per-index postings lengths), but supersets only decide which pairs get
+// verified; the shared exact Verifier decides who survives.
+func applyRulesShardedTo(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule,
+	p plan, k int, ec execConfig, sink Sink) error {
+
+	na := ds.A.Len()
+	if na <= 0 || ds.B.Len() <= 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	exec := ec.exec
+	c := &shard.Coordinator{Workers: ec.workers, Stats: ec.stats}
+	if exec == nil {
+		profA, profB := ex.Profiles(p.feature)
+		exec = shard.NewLocalExecutor(ex, shard.BuildGroup(p.kind, profB, k), profA, rules)
+	} else {
+		// Remote attempts pace retries so a restarting worker process gets
+		// a window to come back before its breaker trips again.
+		c.Backoff = 50 * time.Millisecond
+	}
+	job := ec.job
+	if job == "" {
+		job = ds.Name
+	}
+	tasks := shard.BlockTasks(job, na, k, p.feature, p.theta, rules)
+
+	// Results arrive in Seq order: the k per-shard lists of each probe
+	// block are consecutive. Collect k, merge by (a, b), emit. The emit
+	// callback is serialized by the coordinator, so no locking here.
+	per := make([][]record.Pair, k)
+	var merged []record.Pair
+	filled := 0
+	return c.Run(tasks, exec, func(_ int, pairs []record.Pair) {
+		per[filled] = pairs
+		filled++
+		if filled == k {
+			merged = shard.MergePairs(merged, per)
+			if len(merged) > 0 {
+				sink(merged)
+			}
+			filled = 0
+		}
+	})
 }

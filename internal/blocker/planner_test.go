@@ -18,7 +18,7 @@ func applyRulesRef(ds *record.Dataset, ex *feature.Extractor, rules []tree.Rule)
 	v := newVerifier(ex, rules)
 	for a := 0; a < ds.A.Len(); a++ {
 		for b := 0; b < ds.B.Len(); b++ {
-			if p := record.P(a, b); v.survives(p) {
+			if p := record.P(a, b); v.Survives(p) {
 				out = append(out, p)
 			}
 		}
@@ -221,7 +221,7 @@ func TestApplyRulesToChunks(t *testing.T) {
 		prev := runtime.GOMAXPROCS(procs)
 		var got []record.Pair
 		chunks := 0
-		applyRulesTo(ds, ex, rules, func(chunk []record.Pair) {
+		err := applyRulesTo(ds, ex, rules, execConfig{shards: 1}, func(chunk []record.Pair) {
 			if len(chunk) == 0 {
 				t.Error("sink received an empty chunk")
 			}
@@ -231,6 +231,9 @@ func TestApplyRulesToChunks(t *testing.T) {
 			chunks++
 			got = append(got, chunk...)
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		runtime.GOMAXPROCS(prev)
 		samePairs(t, fmt.Sprintf("stream GOMAXPROCS=%d", procs), got, want)
 		if chunks == 0 && len(want) > 0 {

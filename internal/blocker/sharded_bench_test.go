@@ -1,0 +1,50 @@
+package blocker
+
+// Sharded-blocking benchmarks: the K=4 sharded strategy under 1/2/4/8
+// coordinator workers against the single-index path on the same dataset
+// and rules. Besides ns/op, each sharded run reports the largest per-shard
+// index footprint ("shard-peak-B") — the bytes one worker process must
+// hold, the number that shrinks as K grows and makes scale-out viable.
+// On a 1-CPU box the worker sweep measures coordination overhead, not
+// parallel speedup; BENCH_PR6.json records gomaxprocs/num_cpu so consumers
+// read the speedup column in that light (the PR2/PR3 precedent).
+
+import (
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/datagen"
+	"github.com/corleone-em/corleone/internal/feature"
+	"github.com/corleone-em/corleone/internal/shard"
+)
+
+func benchSharded(b *testing.B, k, workers int) {
+	ds := datagen.Generate(datagen.Scaled(datagen.CitationsPaper, 0.015))
+	ex := feature.NewExtractor(ds)
+	rules := benchRules(b, ex)
+	p := planRules(ex, rules)
+	if !p.indexed {
+		b.Fatal("bench rules should anchor an index")
+	}
+	_, profB := ex.Profiles(p.feature)
+	group := shard.BuildGroup(p.kind, profB, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPairs = sinkPairs[:0]
+		if err := applyRulesTo(ds, ex, rules,
+			execConfig{shards: k, workers: workers}, collectSink(&sinkPairs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(group.MaxShardFootprint()), "shard-peak-B")
+	b.ReportMetric(float64(ds.CartesianSize()), "pairs/op")
+}
+
+// BenchmarkShardedBlockingK1 is the scale-out baseline: the same planner
+// invocation forced to the K=1 single-index path.
+func BenchmarkShardedBlockingK1(b *testing.B) { benchSharded(b, 1, 1) }
+
+func BenchmarkShardedBlockingW1(b *testing.B) { benchSharded(b, 4, 1) }
+func BenchmarkShardedBlockingW2(b *testing.B) { benchSharded(b, 4, 2) }
+func BenchmarkShardedBlockingW4(b *testing.B) { benchSharded(b, 4, 4) }
+func BenchmarkShardedBlockingW8(b *testing.B) { benchSharded(b, 4, 8) }

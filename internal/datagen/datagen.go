@@ -222,7 +222,55 @@ func Generate(p Profile) *record.Dataset {
 		return Citations(p)
 	case "Products":
 		return Products(p)
+	case "Scale1M":
+		return Synthetic(p)
 	default:
 		panic(fmt.Sprintf("datagen: unknown profile %q", p.Name))
 	}
+}
+
+// ProfileByName resolves a user-supplied dataset name to its base profile.
+// Matching is case-insensitive and ignores "-"/"_", so "scale-1m",
+// "Scale1M", and "SCALE_1M" all resolve; the second return is false for
+// unknown names. Every command-line dataset flag and every shard worker's
+// job reconstruction resolves through here, so one spelling of a dataset
+// means one dataset everywhere.
+func ProfileByName(name string) (Profile, bool) {
+	key := strings.ToLower(name)
+	key = strings.ReplaceAll(key, "-", "")
+	key = strings.ReplaceAll(key, "_", "")
+	switch key {
+	case "restaurants":
+		return RestaurantsPaper, true
+	case "citations":
+		return CitationsPaper, true
+	case "products":
+		return ProductsPaper, true
+	case "scale1m":
+		return Scale1M, true
+	default:
+		return Profile{}, false
+	}
+}
+
+// DatasetFor generates the named dataset at the given scale and noise
+// (scale <= 0 or >= 1 means full profile scale; noise 0 keeps the
+// profile's calibrated default). It is the one-call
+// deterministic dataset constructor remote shard workers use to rebuild a
+// job's inputs from its spec: same (name, scale, noise) in any process —
+// including a worker restarted after a crash — yields the byte-identical
+// dataset.
+func DatasetFor(name string, scale, noise float64) (*record.Dataset, error) {
+	base, ok := ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+	}
+	p := base
+	if scale > 0 {
+		p = Scaled(base, scale)
+	}
+	if noise > 0 {
+		p.Noise = noise
+	}
+	return Generate(p), nil
 }

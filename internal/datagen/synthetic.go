@@ -1,0 +1,120 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// Scale1M is the sharded-execution workload: a million records per side
+// with a heavily skewed (Zipf) token distribution, the regime where a
+// single-process inverted index stops fitting comfortably and the §4.3
+// A×B scan is only tractable behind blocking. Matches are 25% of a side so
+// the umbrella set stays large enough to exercise the merge path. Generate
+// at reduced -scale for tests; the full profile is for benchmarks and the
+// EXPERIMENTS.md scale run.
+var Scale1M = Profile{Name: "Scale1M", SizeA: 1_000_000, SizeB: 1_000_000, Matches: 250_000, Seed: 46}
+
+// syntheticVocab is the token universe for Scale1M names. Zipf-ranked:
+// token 0 appears in a large fraction of all names (a stop word with a
+// posting list of ~10⁵⁻⁶ rows — the skew that makes naive index probes
+// degenerate), while the tail tokens are near-unique.
+const syntheticVocab = 40_000
+
+// synTok renders vocabulary token i. Tokens are ≥6 chars so 3-gram
+// features behave like real words rather than colliding constantly.
+func synTok(i uint64) string { return fmt.Sprintf("tok%05x", i) }
+
+func syntheticSchema() record.Schema {
+	return record.Schema{
+		{Name: "name", Type: record.AttrText},
+		{Name: "price", Type: record.AttrNumeric},
+	}
+}
+
+// synEntity is one synthetic record: a 5–9 token name drawn from the Zipf
+// vocabulary plus a price. The lean two-attribute schema keeps per-record
+// profile memory small, which is what lets the profile reach 10⁶ rows per
+// side without the feature layer dominating the experiment.
+type synEntity struct {
+	toks  []string
+	price float64
+}
+
+func genSynthetic(rng *rand.Rand, zipf *rand.Zipf) synEntity {
+	n := 5 + rng.Intn(5)
+	toks := make([]string, n)
+	for i := range toks {
+		toks[i] = synTok(zipf.Uint64())
+	}
+	return synEntity{toks: toks, price: float64(1+rng.Intn(9999)) / 100}
+}
+
+func (e synEntity) row() record.Tuple {
+	return record.Tuple{strings.Join(e.toks, " "), fmt.Sprintf("%.2f", e.price)}
+}
+
+// noisySynthetic renders the entity as table B lists it: token swaps,
+// drops, typos, and a jittered price — enough noise that matching needs
+// fuzzy similarity, little enough that ground truth stays recoverable.
+func noisySynthetic(pt *perturber, e synEntity) record.Tuple {
+	name := strings.Join(e.toks, " ")
+	if pt.maybe(0.3) {
+		name = pt.swapTokens(name)
+	}
+	if pt.maybe(0.2) {
+		name = pt.dropToken(name)
+	}
+	if pt.maybe(0.25) {
+		name = pt.typo(name)
+	}
+	price := fmt.Sprintf("%.2f", pt.jitter(e.price, 0.05))
+	if pt.maybe(0.05) {
+		price = ""
+	}
+	return record.Tuple{name, price}
+}
+
+// Synthetic generates the Scale1M-shaped dataset at any profile size: each
+// match is one entity rendered cleanly in A and noisily in B; the rest of
+// both tables is filled with fresh entities. Token frequencies follow a
+// Zipf law over a fixed vocabulary, giving the inverted index the long
+// posting lists and hot tokens of real text corpora.
+func Synthetic(p Profile) *record.Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	// s=1.07, v=1 approximates natural-language rank-frequency skew.
+	zipf := rand.NewZipf(rng, 1.07, 1, syntheticVocab-1)
+	pt := newPerturber(rng, p.Noise)
+	schema := syntheticSchema()
+	a := record.NewTable("synthetic_a", schema)
+	b := record.NewTable("synthetic_b", schema)
+
+	if p.Matches > p.SizeA {
+		p.Matches = p.SizeA
+	}
+	if p.Matches > p.SizeB {
+		p.Matches = p.SizeB
+	}
+
+	matches := make([]record.Pair, 0, p.Matches)
+	for i := 0; i < p.Matches; i++ {
+		e := genSynthetic(rng, zipf)
+		a.Append(e.row())
+		b.Append(noisySynthetic(pt, e))
+		matches = append(matches, record.P(a.Len()-1, b.Len()-1))
+	}
+	for a.Len() < p.SizeA {
+		a.Append(genSynthetic(rng, zipf).row())
+	}
+	for b.Len() < p.SizeB {
+		b.Append(genSynthetic(rng, zipf).row())
+	}
+
+	matches = shuffleBoth(rng, a, b, matches)
+	return assemble("Scale1M", a, b, matches,
+		"These records describe synthetic catalog entries. They match if "+
+			"they list the same underlying item, allowing for token "+
+			"reordering, drops, and typos.", rng)
+}

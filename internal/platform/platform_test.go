@@ -8,7 +8,6 @@ import (
 
 	"github.com/corleone-em/corleone/internal/crowd"
 	"github.com/corleone-em/corleone/internal/datagen"
-	"github.com/corleone-em/corleone/internal/engine"
 	"github.com/corleone-em/corleone/internal/record"
 )
 
@@ -125,44 +124,6 @@ func TestQuestionIDCodec(t *testing.T) {
 	}
 	if _, err := DecodeQuestionID("garbage"); err == nil {
 		t.Error("garbage id decoded")
-	}
-}
-
-// TestEndToEndPipelineOverHTTP runs the COMPLETE Corleone pipeline with
-// its crowd answers flowing through the HTTP marketplace: RemoteCrowd
-// posts HITs, a simulated worker pool answers them.
-func TestEndToEndPipelineOverHTTP(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full pipeline over HTTP")
-	}
-	ds := datagen.Generate(datagen.Scaled(datagen.RestaurantsPaper, 0.25))
-	server := NewServer()
-	srv := httptest.NewServer(server.Handler())
-	defer srv.Close()
-	client := NewClient(srv.URL)
-
-	// Workers answer with the paper's random-worker model at 5% error.
-	pool := StartWorkers(client, 4, crowd.NewSimulated(ds.Truth, 0.05, 99), time.Millisecond)
-	defer pool.Stop()
-
-	remote := &RemoteCrowd{Client: client, Dataset: ds, RewardCents: 1}
-	cfg := engine.Defaults()
-	cfg.Seed = 5
-	res, err := engine.Run(ds, remote, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.True.F1 < 80 {
-		t.Errorf("F1 over HTTP marketplace = %.1f", res.True.F1)
-	}
-	// The marketplace actually paid the workers.
-	if server.TotalPaidCents() == 0 {
-		t.Error("no payments recorded")
-	}
-	// Platform payments match Corleone's accounting (1 cent/question).
-	wantCents := int(res.Accounting.Cost*100 + 0.5) // float cents, rounded
-	if got := server.TotalPaidCents(); got != wantCents {
-		t.Errorf("marketplace paid %d cents, Corleone accounted %d", got, wantCents)
 	}
 }
 

@@ -21,6 +21,12 @@ func (e *httpError) Error() string {
 	return fmt.Sprintf("platform: HTTP %d: %s", e.code, e.msg)
 }
 
+// HTTPStatus returns the response status code. Error types in other
+// packages (the shard worker transport) expose the same method; retryable
+// classifies all of them through the anonymous interface below instead of
+// depending on concrete types.
+func (e *httpError) HTTPStatus() int { return e.code }
+
 // retryable reports whether err is worth retrying on an idempotent call:
 // transport failures (connection drops, client timeouts, torn response
 // bodies) and 5xx responses are; 4xx responses, empty-queue 204s, and an
@@ -30,12 +36,17 @@ func retryable(err error) bool {
 	if err == nil || errors.Is(err, errNoContent) || errors.Is(err, ErrCircuitOpen) {
 		return false
 	}
-	var he *httpError
+	var he interface{ HTTPStatus() int }
 	if errors.As(err, &he) {
-		return he.code >= 500
+		return he.HTTPStatus() >= 500
 	}
 	return true
 }
+
+// Retryable is the exported view of retryable, for higher layers (the
+// shard coordinator) that run their own retry loops over this transport
+// and must agree with it on which failures are worth another attempt.
+func Retryable(err error) bool { return retryable(err) }
 
 // RetryPolicy retries idempotent marketplace calls with capped exponential
 // backoff and seeded deterministic jitter. Only calls that are idempotent
@@ -172,6 +183,14 @@ func (b *Breaker) allow() error {
 	b.probing = true
 	return nil
 }
+
+// Allow is the exported view of allow, for callers outside this package
+// (the shard worker client) that gate their own wire attempts on the
+// breaker.
+func (b *Breaker) Allow() error { return b.allow() }
+
+// Record is the exported view of record.
+func (b *Breaker) Record(err error) { b.record(err) }
 
 // record feeds a call's outcome back into the breaker.
 func (b *Breaker) record(err error) {

@@ -16,10 +16,25 @@ import (
 //	POST /jobs/{id}/resume    resume a journaled job in this process
 //	GET  /jobs/{id}/events    NDJSON event stream (history, then live)
 //	GET  /journal             list journaled job ids (including past runs)
+//	GET  /healthz             200 "ok" while the service accepts work
+//	GET  /metrics             Metrics snapshot as JSON
 //
 // Styled after internal/platform: stdlib mux, JSON in/out, no deps.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok") //nolint:errcheck // best-effort health reply
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		writeJSON(w, http.StatusOK, m.Metrics())
+	})
 
 	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {

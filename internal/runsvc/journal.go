@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/corleone-em/corleone/internal/crowd"
@@ -41,7 +42,15 @@ type Store struct {
 	// only; production stores leave it nil. Set it before Open: each
 	// journal copies the hook at open time.
 	Faults FaultFunc
+
+	// bytes counts bytes successfully appended to journal line files
+	// across all jobs since the store was opened (served by /metrics).
+	bytes atomic.Int64
 }
+
+// BytesWritten reports bytes appended to journal line files (labels,
+// batches, checkpoints) across all of the store's journals this process.
+func (s *Store) BytesWritten() int64 { return s.bytes.Load() }
 
 // WriteFault describes one injected journal-append fault, the disk-side
 // half of the faultkit chaos harness.
@@ -79,25 +88,37 @@ type faultWriter struct {
 	f      *os.File
 	name   string
 	faults FaultFunc
+	bytes  *atomic.Int64
+}
+
+// write appends to the file and feeds the store's bytes-journaled counter.
+func (w *faultWriter) write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	if w.bytes != nil && n > 0 {
+		w.bytes.Add(int64(n))
+	}
+	return n, err
 }
 
 func (w *faultWriter) Write(p []byte) (int, error) {
 	if w.faults == nil {
-		return w.f.Write(p)
+		return w.write(p)
 	}
 	fault := w.faults(w.name, p)
 	if fault == nil {
-		return w.f.Write(p)
+		return w.write(p)
 	}
 	if fault.Err != nil {
 		return 0, fault.Err
 	}
 	if fault.Torn >= 0 && fault.Torn < len(p) {
-		//corlint:allow dur-ignored-write — injected crash: the torn prefix deliberately goes unchecked and unsynced, simulating a kill mid-write; Store.Open repairs the tail on resume
-		w.f.Write(p[:fault.Torn])
+		// Injected crash: the torn prefix deliberately goes unchecked and
+		// unsynced, simulating a kill mid-write; Store.Open repairs the
+		// tail on resume.
+		w.write(p[:fault.Torn])
 		panic(crashSentinel{})
 	}
-	n, err := w.f.Write(p)
+	n, err := w.write(p)
 	if err != nil {
 		return n, err
 	}
@@ -178,9 +199,9 @@ func (s *Store) Open(id string) (*Journal, error) {
 	}
 	// All appends route through the store's fault hook (a nil hook is a
 	// plain passthrough), so chaos schedules can tear or kill any line.
-	j.labelsW = &faultWriter{f: j.labels, name: "labels.jsonl", faults: s.Faults}
-	j.batchesW = &faultWriter{f: j.batches, name: "batches.jsonl", faults: s.Faults}
-	j.checksW = &faultWriter{f: j.checks, name: "checkpoints.jsonl", faults: s.Faults}
+	j.labelsW = &faultWriter{f: j.labels, name: "labels.jsonl", faults: s.Faults, bytes: &s.bytes}
+	j.batchesW = &faultWriter{f: j.batches, name: "batches.jsonl", faults: s.Faults, bytes: &s.bytes}
+	j.checksW = &faultWriter{f: j.checks, name: "checkpoints.jsonl", faults: s.Faults, bytes: &s.bytes}
 	return j, nil
 }
 

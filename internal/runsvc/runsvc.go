@@ -6,6 +6,7 @@ import (
 
 	"github.com/corleone-em/corleone/internal/crowd"
 	"github.com/corleone-em/corleone/internal/engine"
+	"github.com/corleone-em/corleone/internal/shard"
 )
 
 // State is a job's lifecycle state.
@@ -48,6 +49,11 @@ type Options struct {
 	JournalDir string
 	// QueueDepth bounds jobs accepted but not yet running (default 1024).
 	QueueDepth int
+	// ShardEndpoints, when non-empty, fans each Meta-carrying job's sharded
+	// blocking tasks out to these shard-worker base URLs (cmd/shardworker
+	// processes) over the platform HTTP transport. Empty means shard tasks
+	// run in-process.
+	ShardEndpoints []string
 }
 
 // Manager runs Corleone jobs on a bounded executor pool, journaling each
@@ -66,6 +72,11 @@ type Manager struct {
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
+	// shardEndpoints is Options.ShardEndpoints; shardStats accumulates
+	// shard task dispatch/retry counts across all jobs for /metrics.
+	shardEndpoints []string
+	shardStats     shard.Stats
+
 	// testCrashAfterBatches, when positive, is copied into each job's
 	// journal to simulate a process kill right after the Nth batch flush.
 	testCrashAfterBatches int
@@ -80,9 +91,10 @@ func NewManager(opts Options) (*Manager, error) {
 		opts.QueueDepth = 1024
 	}
 	m := &Manager{
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, opts.QueueDepth),
-		quit:  make(chan struct{}),
+		jobs:           make(map[string]*Job),
+		queue:          make(chan *Job, opts.QueueDepth),
+		quit:           make(chan struct{}),
+		shardEndpoints: opts.ShardEndpoints,
 	}
 	if opts.JournalDir != "" {
 		store, err := NewStore(opts.JournalDir)
@@ -125,6 +137,65 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	close(m.quit)
 	m.wg.Wait()
+}
+
+// Drain is the graceful-shutdown path: it requests cancellation of every
+// non-terminal job, then stops the executor pool and waits for in-flight
+// jobs to finish. A canceled running job stops at its next crowd batch
+// with every paid label flushed to its journal; a job still queued never
+// starts, but its spec was journaled at submission, so a fresh process
+// resumes it by id. Safe to call more than once.
+func (m *Manager) Drain() {
+	for _, j := range m.Jobs() {
+		if !j.State().Terminal() {
+			j.Cancel()
+		}
+	}
+	m.Close()
+}
+
+// Metrics is the point-in-time operational summary served at /metrics.
+type Metrics struct {
+	// Job counts by lifecycle state. Done/Canceled/Failed fold crashed
+	// into failed.
+	JobsQueued   int `json:"jobs_queued"`
+	JobsRunning  int `json:"jobs_running"`
+	JobsDone     int `json:"jobs_done"`
+	JobsCanceled int `json:"jobs_canceled"`
+	JobsFailed   int `json:"jobs_failed"`
+	// Shard task counters, accumulated across every job's blocking run.
+	ShardTasksDispatched int64 `json:"shard_tasks_dispatched"`
+	ShardTasksRetried    int64 `json:"shard_tasks_retried"`
+	// BytesJournaled counts bytes appended across all journal files (0
+	// when journaling is disabled).
+	BytesJournaled int64 `json:"bytes_journaled"`
+}
+
+// Metrics snapshots the manager's counters.
+func (m *Manager) Metrics() Metrics {
+	var out Metrics
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		switch j.State() {
+		case StateQueued:
+			out.JobsQueued++
+		case StateRunning:
+			out.JobsRunning++
+		case StateDone:
+			out.JobsDone++
+		case StateCanceled:
+			out.JobsCanceled++
+		case StateFailed, StateCrashed:
+			out.JobsFailed++
+		}
+	}
+	m.mu.Unlock()
+	out.ShardTasksDispatched = m.shardStats.Dispatched.Load()
+	out.ShardTasksRetried = m.shardStats.Retried.Load()
+	if m.store != nil {
+		out.BytesJournaled = m.store.BytesWritten()
+	}
+	return out
 }
 
 // Submit accepts a job for execution and returns it in StateQueued.
@@ -377,6 +448,23 @@ func (m *Manager) execute(j *Job) {
 	cfg := j.spec.Config
 	cfg.Runner = runner
 	cfg.Cancel = j.cancel
+	// Sharded blocking: every job feeds the manager-wide shard counters,
+	// and Meta-carrying jobs fan their blocking tasks out to the configured
+	// shard-worker processes — the Meta's dataset recipe is exactly what a
+	// worker (even one restarted after a crash) needs to rebuild the job's
+	// inputs deterministically.
+	cfg.Blocker.Job = j.ID
+	cfg.Blocker.ShardStats = &m.shardStats
+	if len(m.shardEndpoints) > 0 && cfg.Blocker.Exec == nil && j.spec.Meta != nil {
+		cfg.Blocker.Exec = shard.NewRemoteExecutor(m.shardEndpoints, shard.JobSpec{
+			Dataset: j.spec.Meta.Profile,
+			Scale:   j.spec.Meta.Scale,
+			Noise:   j.spec.Meta.Noise,
+		}, nil)
+		if cfg.Blocker.ShardWorkers <= 0 {
+			cfg.Blocker.ShardWorkers = len(m.shardEndpoints)
+		}
+	}
 	userListener := cfg.Listener
 	cfg.Listener = func(e engine.Event) {
 		j.publishEngineEvent(e)

@@ -57,7 +57,8 @@ type Spec struct {
 // which is what makes journal-only resume possible.
 type Meta struct {
 	// Profile names the synthetic dataset family: "restaurants",
-	// "citations", or "products".
+	// "citations", "products", or "scale-1m" (any spelling
+	// datagen.ProfileByName accepts).
 	Profile string `json:"profile"`
 	// Scale shrinks the paper-scale profile (0 or >=1 = full scale).
 	Scale float64 `json:"scale,omitempty"`
@@ -72,28 +73,26 @@ type Meta struct {
 	Budget        float64 `json:"budget,omitempty"`
 	Price         float64 `json:"price,omitempty"`
 	MaxIterations int     `json:"max_iterations,omitempty"`
+	// TB overrides the blocking trigger threshold t_B when > 0 (scaled-down
+	// runs lower it so blocking still engages on small tables).
+	TB int `json:"tb,omitempty"`
+	// Shards selects the blocking execution strategy (blocker.Config.Shards
+	// semantics: 0 = choose by table size, 1 = single index, >1 = that many
+	// shards); ShardWorkers bounds the shard coordinator's fan-out width.
+	// The umbrella set is bit-identical at every setting.
+	Shards       int `json:"shards,omitempty"`
+	ShardWorkers int `json:"shard_workers,omitempty"`
 }
 
 // BuildSpec reconstructs a full Spec from its serializable description.
+// The dataset resolves through datagen.DatasetFor — the same constructor
+// remote shard workers use — so a job's coordinator and its workers can
+// never disagree about the data.
 func BuildSpec(meta Meta) (Spec, error) {
-	var base datagen.Profile
-	switch strings.ToLower(meta.Profile) {
-	case "restaurants":
-		base = datagen.RestaurantsPaper
-	case "citations":
-		base = datagen.CitationsPaper
-	case "products":
-		base = datagen.ProductsPaper
-	default:
-		return Spec{}, fmt.Errorf("runsvc: unknown profile %q", meta.Profile)
+	ds, err := datagen.DatasetFor(meta.Profile, meta.Scale, meta.Noise)
+	if err != nil {
+		return Spec{}, fmt.Errorf("runsvc: %w", err)
 	}
-	if meta.Scale > 0 && meta.Scale < 1 {
-		base = datagen.Scaled(base, meta.Scale)
-	}
-	if meta.Noise > 0 {
-		base.Noise = meta.Noise
-	}
-	ds := datagen.Generate(base)
 
 	var c crowd.Crowd
 	if meta.ErrorRate > 0 {
@@ -115,6 +114,11 @@ func BuildSpec(meta Meta) (Spec, error) {
 	if meta.MaxIterations > 0 {
 		cfg.MaxIterations = meta.MaxIterations
 	}
+	if meta.TB > 0 {
+		cfg.Blocker.TB = meta.TB
+	}
+	cfg.Blocker.Shards = meta.Shards
+	cfg.Blocker.ShardWorkers = meta.ShardWorkers
 	m := meta
 	return Spec{
 		Name:    strings.ToLower(meta.Profile),

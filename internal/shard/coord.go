@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/corleone-em/corleone/internal/platform"
+	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/tree"
+)
+
+// TaskBlockRows is how many probe (table A) rows one shard task covers —
+// the same granularity as the single-index planner's scan blocks, so the
+// two paths load-balance skewed postings identically.
+const TaskBlockRows = 64
+
+// Task is one unit of shard work: probe the anchor feature's index on one
+// shard of table B for a block of table A rows, and verify every candidate
+// against the full rule set. A task is a pure function of its fields plus
+// the job's deterministic dataset, which is what makes re-execution after
+// a worker crash — on any process — idempotent: the retried task returns
+// byte-identical survivors. The struct is the wire format the remote
+// executor POSTs to shard workers.
+type Task struct {
+	// Job identifies the deterministic job the task belongs to; remote
+	// workers use it to look up (or lazily rebuild) the job's dataset,
+	// extractor, and shard index.
+	Job string `json:"job"`
+	// Seq is the task's position in the job's emission order: block-major,
+	// shard-minor (Seq = block×Shards + Shard). The coordinator emits
+	// results in Seq order regardless of completion order.
+	Seq int64 `json:"seq"`
+	// ALo and AHi bound the task's probe rows: [ALo, AHi) of table A.
+	ALo int32 `json:"a_lo"`
+	AHi int32 `json:"a_hi"`
+	// Shard is which of Shards partitions of table B this task probes.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Feature is the anchor feature's index in the job's extractor, Theta
+	// the index probe threshold.
+	Feature int     `json:"feature"`
+	Theta   float64 `json:"theta"`
+	// Rules is the full blocking rule set every candidate is verified
+	// against (tree.Rule is fully exported, so it round-trips JSON).
+	Rules []tree.Rule `json:"rules"`
+}
+
+// Executor runs one task and returns its surviving pairs in (a, b) order.
+// attempt is 0 for the first try and increments on coordinator retries —
+// remote executors use it to rotate endpoints (failover) and to count
+// dispatches vs. retries. The returned slice must be freshly allocated or
+// otherwise safe for the coordinator to retain until emission.
+type Executor interface {
+	Probe(t Task, attempt int) ([]record.Pair, error)
+}
+
+// Stats counts shard task activity; all fields are atomics, safe to read
+// while a run is in flight (runsvc's /metrics does).
+type Stats struct {
+	// Dispatched counts first attempts; Retried counts re-attempts after a
+	// retryable failure.
+	Dispatched atomic.Int64
+	Retried    atomic.Int64
+}
+
+// Coordinator fans tasks out to Workers goroutines over an Executor and
+// delivers results to the caller strictly in task order behind a bounded
+// reorder window — completion order, retries, and failover cannot move a
+// result's position in the output stream. The zero value is usable.
+type Coordinator struct {
+	// Workers is the fan-out width (<=0 means GOMAXPROCS).
+	Workers int
+	// MaxAttempts bounds tries per task, first included (<=0 means 3).
+	MaxAttempts int
+	// Window bounds how many tasks may be claimed ahead of the emission
+	// frontier (<=0 means Workers×4) — the reorder buffer's size cap.
+	Window int
+	// Backoff, when > 0, is slept between a task's attempts, scaled by the
+	// attempt number. Local executors leave it 0; the remote path sets it
+	// so a crashed worker's restart window isn't busy-spun through.
+	Backoff time.Duration
+	// Stats, when non-nil, receives dispatch/retry counts.
+	Stats *Stats
+}
+
+// taskRetryable decides whether a failed attempt is worth re-running. It
+// defers to the platform transport's classification — 5xx and transport
+// failures retry, other 4xx cannot improve — except that an open circuit
+// IS retryable here: the next attempt rotates to a different endpoint, so
+// failing fast on one breaker should trigger failover, not abort the job.
+func taskRetryable(err error) bool {
+	if errors.Is(err, platform.ErrCircuitOpen) {
+		return true
+	}
+	return platform.Retryable(err)
+}
+
+// coordRun is one Run's shared state: a claim/complete sequencer in the
+// mold of the blocker's, plus first-error capture.
+type coordRun struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	next   int
+	emit   int
+	n      int
+	window int
+	failed bool
+	err    error
+	done   map[int][]record.Pair
+}
+
+// claim hands out the next task index, blocking while the caller is a full
+// window ahead of emission; ok=false when tasks are exhausted or the run
+// has failed.
+func (s *coordRun) claim() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.failed && s.next < s.n && s.next-s.emit >= s.window {
+		s.cond.Wait()
+	}
+	if s.failed || s.next >= s.n {
+		return 0, false
+	}
+	i := s.next
+	s.next++
+	return i, true
+}
+
+// fail records the run's first terminal error and wakes blocked claimers.
+func (s *coordRun) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.failed {
+		s.failed = true
+		s.err = err
+	}
+	s.cond.Broadcast()
+}
+
+// complete records a task's result and drains every ready result, in task
+// order, to emit. Drain runs under the lock, so emit calls are serialized
+// and ordered.
+func (s *coordRun) complete(i int, pairs []record.Pair, emit func(int, []record.Pair)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return
+	}
+	s.done[i] = pairs
+	for {
+		out, ok := s.done[s.emit]
+		if !ok {
+			break
+		}
+		delete(s.done, s.emit)
+		emit(s.emit, out)
+		s.emit++
+	}
+	s.cond.Broadcast()
+}
+
+// Run executes tasks over exec and calls emit(i, pairs) exactly once per
+// task, in ascending slice order, regardless of which worker finished
+// which task when. tasks must already be in Seq order (BlockTasks produces
+// such a slice). Each task is attempted up to MaxAttempts times while its
+// failures stay retryable; the first terminal failure aborts the run and
+// is returned. On error, emission stops at the last contiguous prefix of
+// completed tasks — no out-of-order or duplicated delivery ever occurs.
+func (c *Coordinator) Run(tasks []Task, exec Executor, emit func(i int, pairs []record.Pair)) error {
+	n := len(tasks)
+	if n == 0 {
+		return nil
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	window := c.Window
+	if window <= 0 {
+		window = workers * 4
+	}
+	maxAttempts := c.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	st := &coordRun{n: n, window: window, done: make(map[int][]record.Pair)}
+	st.cond = sync.NewCond(&st.mu)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := st.claim()
+				if !ok {
+					return
+				}
+				t := tasks[i]
+				var pairs []record.Pair
+				var err error
+				for attempt := 0; attempt < maxAttempts; attempt++ {
+					if c.Stats != nil {
+						if attempt == 0 {
+							c.Stats.Dispatched.Add(1)
+						} else {
+							c.Stats.Retried.Add(1)
+						}
+					}
+					if attempt > 0 && c.Backoff > 0 {
+						time.Sleep(time.Duration(attempt) * c.Backoff)
+					}
+					pairs, err = exec.Probe(t, attempt)
+					if err == nil || !taskRetryable(err) {
+						break
+					}
+				}
+				if err != nil {
+					st.fail(fmt.Errorf("shard: task %d (shard %d/%d, rows [%d,%d)): %w",
+						t.Seq, t.Shard, t.Shards, t.ALo, t.AHi, err))
+					return
+				}
+				st.complete(i, pairs, emit)
+			}
+		}()
+	}
+	wg.Wait()
+	return st.err
+}
+
+// BlockTasks lays out a blocking job's task list: block-major, shard-minor
+// over na probe rows and k shards, with Seq equal to the slice index. The
+// layout is what makes the per-block K-way merge possible downstream — the
+// k tasks for one probe block arrive consecutively.
+func BlockTasks(job string, na, k, featureIdx int, theta float64, rules []tree.Rule) []Task {
+	if na <= 0 || k < 1 {
+		return nil
+	}
+	blocks := (na + TaskBlockRows - 1) / TaskBlockRows
+	tasks := make([]Task, 0, blocks*k)
+	for b := 0; b < blocks; b++ {
+		lo := int32(b * TaskBlockRows)
+		hi := lo + TaskBlockRows
+		if hi > int32(na) {
+			hi = int32(na)
+		}
+		for s := 0; s < k; s++ {
+			tasks = append(tasks, Task{
+				Job:     job,
+				Seq:     int64(len(tasks)),
+				ALo:     lo,
+				AHi:     hi,
+				Shard:   s,
+				Shards:  k,
+				Feature: featureIdx,
+				Theta:   theta,
+				Rules:   rules,
+			})
+		}
+	}
+	return tasks
+}
+
+// MergePairs merges k (a, b)-ascending, pairwise-disjoint pair lists into
+// dst (cleared first), preserving (a, b) order — the per-probe-block merge
+// that stitches the K shards' survivor lists back into the single-index
+// planner's emission order.
+func MergePairs(dst []record.Pair, lists [][]record.Pair) []record.Pair {
+	dst = dst[:0]
+	heads := make([]int, len(lists))
+	for {
+		bestList := -1
+		var best record.Pair
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			v := l[heads[i]]
+			if bestList < 0 || v.A < best.A || (v.A == best.A && v.B < best.B) {
+				best, bestList = v, i
+			}
+		}
+		if bestList < 0 {
+			return dst
+		}
+		heads[bestList]++
+		dst = append(dst, best)
+	}
+}

@@ -1,0 +1,197 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// scrambleExecutor returns synthetic per-task pairs after a delay derived
+// from the task's Seq by a multiplicative hash — a deterministic but
+// thoroughly scrambled completion order, the adversarial schedule for the
+// coordinator's in-order-emission guarantee.
+type scrambleExecutor struct {
+	mu       sync.Mutex
+	attempts map[int64]int
+}
+
+func (e *scrambleExecutor) Probe(t Task, attempt int) ([]record.Pair, error) {
+	e.mu.Lock()
+	if e.attempts == nil {
+		e.attempts = make(map[int64]int)
+	}
+	e.attempts[t.Seq]++
+	e.mu.Unlock()
+	delay := time.Duration((uint64(t.Seq)*2654435761)%7) * time.Millisecond
+	time.Sleep(delay)
+	return []record.Pair{{A: int32(t.Seq), B: int32(t.Shard)}}, nil
+}
+
+// TestCoordinatorInOrderEmission pins the reorder guarantee: at several
+// worker counts, emission is exactly slice order however completion lands.
+func TestCoordinatorInOrderEmission(t *testing.T) {
+	tasks := make([]Task, 40)
+	for i := range tasks {
+		tasks[i] = Task{Job: "j", Seq: int64(i), Shard: i % 4, Shards: 4}
+	}
+	for _, workers := range []int{1, 3, 8} {
+		var stats Stats
+		c := &Coordinator{Workers: workers, Stats: &stats}
+		var got []int
+		err := c.Run(tasks, &scrambleExecutor{}, func(i int, pairs []record.Pair) {
+			got = append(got, i)
+			if len(pairs) != 1 || pairs[0].A != int32(tasks[i].Seq) {
+				t.Errorf("workers=%d: task %d delivered wrong payload %v", workers, i, pairs)
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(tasks) {
+			t.Fatalf("workers=%d: emitted %d of %d tasks", workers, len(got), len(tasks))
+		}
+		for i, v := range got {
+			if i != v {
+				t.Fatalf("workers=%d: emission %d was task %d — out of order", workers, i, v)
+			}
+		}
+		if d := stats.Dispatched.Load(); d != int64(len(tasks)) {
+			t.Errorf("workers=%d: dispatched %d, want %d", workers, d, len(tasks))
+		}
+		if r := stats.Retried.Load(); r != 0 {
+			t.Errorf("workers=%d: retried %d, want 0", workers, r)
+		}
+	}
+}
+
+// flakyExecutor fails each task's first failN attempts with a retryable
+// (status 503) error, then succeeds. failHard tasks fail with 400 — a
+// terminal error the coordinator must not retry.
+type flakyExecutor struct {
+	failN    int
+	failHard map[int64]bool
+	mu       sync.Mutex
+	tries    map[int64]int
+}
+
+func (e *flakyExecutor) Probe(t Task, attempt int) ([]record.Pair, error) {
+	e.mu.Lock()
+	if e.tries == nil {
+		e.tries = make(map[int64]int)
+	}
+	e.tries[t.Seq]++
+	tries := e.tries[t.Seq]
+	e.mu.Unlock()
+	if e.failHard[t.Seq] {
+		return nil, &httpStatusError{status: 400, msg: "bad task"}
+	}
+	if tries <= e.failN {
+		return nil, &httpStatusError{status: 503, msg: "worker restarting"}
+	}
+	return []record.Pair{{A: int32(t.Seq)}}, nil
+}
+
+// TestCoordinatorRetriesTransient pins the retry loop: 5xx failures are
+// re-attempted and the run converges with full, in-order output.
+func TestCoordinatorRetriesTransient(t *testing.T) {
+	tasks := make([]Task, 12)
+	for i := range tasks {
+		tasks[i] = Task{Seq: int64(i)}
+	}
+	var stats Stats
+	c := &Coordinator{Workers: 4, MaxAttempts: 3, Stats: &stats}
+	var got int
+	err := c.Run(tasks, &flakyExecutor{failN: 2}, func(i int, _ []record.Pair) {
+		if i != got {
+			t.Fatalf("emission %d out of order", i)
+		}
+		got++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(tasks) {
+		t.Fatalf("emitted %d of %d", got, len(tasks))
+	}
+	if r := stats.Retried.Load(); r != int64(2*len(tasks)) {
+		t.Errorf("retried %d, want %d", r, 2*len(tasks))
+	}
+}
+
+// TestCoordinatorTerminalError pins fail-fast semantics: a 4xx aborts the
+// run after one attempt, the error surfaces, and emission never passes the
+// failed task's position.
+func TestCoordinatorTerminalError(t *testing.T) {
+	tasks := make([]Task, 10)
+	for i := range tasks {
+		tasks[i] = Task{Seq: int64(i)}
+	}
+	ex := &flakyExecutor{failHard: map[int64]bool{5: true}}
+	c := &Coordinator{Workers: 2}
+	var emitted []int
+	err := c.Run(tasks, ex, func(i int, _ []record.Pair) { emitted = append(emitted, i) })
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var he *httpStatusError
+	if !errors.As(err, &he) || he.status != 400 {
+		t.Fatalf("error %v does not carry the 400", err)
+	}
+	ex.mu.Lock()
+	tries := ex.tries[5]
+	ex.mu.Unlock()
+	if tries != 1 {
+		t.Errorf("terminal task attempted %d times, want 1", tries)
+	}
+	for _, i := range emitted {
+		if i >= 5 {
+			t.Errorf("task %d emitted past the failure point", i)
+		}
+	}
+}
+
+// TestCoordinatorRunExhaustsAttempts pins the bound: a task that never
+// stops failing retryably consumes exactly MaxAttempts tries then fails
+// the run.
+func TestCoordinatorRunExhaustsAttempts(t *testing.T) {
+	tasks := []Task{{Seq: 0}}
+	ex := &flakyExecutor{failN: 1 << 30}
+	c := &Coordinator{Workers: 1, MaxAttempts: 4}
+	err := c.Run(tasks, ex, func(int, []record.Pair) { t.Fatal("nothing should emit") })
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ex.tries[0] != 4 {
+		t.Errorf("attempted %d times, want 4", ex.tries[0])
+	}
+}
+
+func TestBlockTasksLayout(t *testing.T) {
+	tasks := BlockTasks("j", 150, 3, 2, 0.4, nil)
+	blocks := (150 + TaskBlockRows - 1) / TaskBlockRows
+	if len(tasks) != blocks*3 {
+		t.Fatalf("%d tasks, want %d", len(tasks), blocks*3)
+	}
+	for i, tk := range tasks {
+		if tk.Seq != int64(i) {
+			t.Fatalf("task %d has Seq %d", i, tk.Seq)
+		}
+		if tk.Shard != i%3 {
+			t.Fatalf("task %d has shard %d, want %d (shard-minor layout)", i, tk.Shard, i%3)
+		}
+		if tk.Job != "j" || tk.Shards != 3 || tk.Feature != 2 || tk.Theta != 0.4 {
+			t.Fatalf("task %d fields wrong: %+v", i, tk)
+		}
+	}
+	last := tasks[len(tasks)-1]
+	if last.AHi != 150 {
+		t.Fatalf("last task ends at %d, want 150", last.AHi)
+	}
+	if got := fmt.Sprint(BlockTasks("j", 0, 3, 0, 0, nil)); got != "[]" {
+		t.Fatalf("empty table should yield no tasks, got %s", got)
+	}
+}

@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"sync"
+
+	"github.com/corleone-em/corleone/internal/feature"
+	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/similarity"
+	"github.com/corleone-em/corleone/internal/simindex"
+	"github.com/corleone-em/corleone/internal/tree"
+)
+
+// LocalExecutor runs shard tasks in-process against a prebuilt Group —
+// the executor the blocker uses when no worker endpoints are configured.
+// It is the reference implementation of the task semantics: probe the
+// task's shard for each row in [ALo, AHi), verify every candidate with the
+// shared memoized evaluator, return survivors in (a, b) order. Safe for
+// concurrent Probe calls.
+type LocalExecutor struct {
+	group *Group
+	profA []*similarity.Profile
+	pool  sync.Pool
+}
+
+// localState is one goroutine's reusable probe state.
+type localState struct {
+	v    *Verifier
+	is   *simindex.Scratch
+	cand []int32
+}
+
+// NewLocalExecutor binds the executor to a shard group over table B's
+// anchor-feature profiles, the probe-side (table A) profiles, and the rule
+// set. Tasks carry Feature/Rules for the wire protocol; the local executor
+// trusts its construction-time bindings instead — they are the same values
+// by construction, without re-deriving per task.
+func NewLocalExecutor(ex *feature.Extractor, group *Group, profA []*similarity.Profile, rules []tree.Rule) *LocalExecutor {
+	e := &LocalExecutor{group: group, profA: profA}
+	e.pool.New = func() any {
+		return &localState{v: NewVerifier(ex, rules), is: simindex.NewScratch()}
+	}
+	return e
+}
+
+// Probe implements Executor.
+func (e *LocalExecutor) Probe(t Task, _ int) ([]record.Pair, error) {
+	st := e.pool.Get().(*localState)
+	defer e.pool.Put(st)
+	sh := e.group.Shard(t.Shard)
+	var out []record.Pair
+	for a := t.ALo; a < t.AHi; a++ {
+		st.cand = sh.Candidates(e.profA[a], t.Theta, st.is, st.cand[:0])
+		for _, b := range st.cand {
+			p := record.Pair{A: a, B: b}
+			if st.v.Survives(p) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/corleone-em/corleone/internal/platform"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// httpStatusError is a non-2xx shard-worker response. It exposes
+// HTTPStatus so platform.Retryable classifies it exactly like the
+// marketplace transport's own errors: 5xx retries, 4xx does not.
+type httpStatusError struct {
+	status int
+	msg    string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("shard: HTTP %d: %s", e.status, e.msg)
+}
+
+func (e *httpStatusError) HTTPStatus() int { return e.status }
+
+// RemoteExecutor runs shard tasks on worker processes over HTTP. Fault
+// handling rides on the platform package's machinery: a per-endpoint
+// circuit breaker fails fast on a dead worker, the coordinator's retry
+// loop re-dispatches with an incremented attempt, and the executor routes
+// attempt n of a shard's task to endpoint (shard+n) mod len(endpoints) —
+// so consecutive retries fail over to different workers. Probes are
+// idempotent by construction (a task is a pure function of its fields and
+// the job's deterministic dataset), so a retry after an ambiguous failure
+// — the crashed worker may or may not have finished computing — cannot
+// double-emit or diverge; the idempotency key header makes the retry
+// visible to logging middleware the same way platform's HIT creation is.
+type RemoteExecutor struct {
+	endpoints []string
+	spec      JobSpec
+	client    *http.Client
+	breakers  []platform.Breaker
+}
+
+// NewRemoteExecutor targets the given worker base URLs (e.g.
+// "http://127.0.0.1:9301"). spec is POSTed to a worker that answers 412 —
+// the lazy-load handshake. Only the dataset recipe (Dataset, Scale, Noise)
+// must be filled in; Job, Shards, and Feature are stamped from the task
+// being probed, since the planner picks the anchor feature after the
+// executor is constructed. client nil means a default with a generous
+// per-call timeout (a probe covers at most TaskBlockRows rows).
+func NewRemoteExecutor(endpoints []string, spec JobSpec, client *http.Client) *RemoteExecutor {
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &RemoteExecutor{
+		endpoints: endpoints,
+		spec:      spec,
+		client:    client,
+		breakers:  make([]platform.Breaker, len(endpoints)),
+	}
+}
+
+// Probe implements Executor: route, gate on the endpoint's breaker, probe,
+// lazily load the job on 412, and feed the outcome back to the breaker.
+func (e *RemoteExecutor) Probe(t Task, attempt int) ([]record.Pair, error) {
+	if len(e.endpoints) == 0 {
+		return nil, errors.New("shard: remote executor has no endpoints")
+	}
+	i := (t.Shard + attempt) % len(e.endpoints)
+	ep, br := e.endpoints[i], &e.breakers[i]
+	if err := br.Allow(); err != nil {
+		return nil, fmt.Errorf("%w (endpoint %s)", err, ep)
+	}
+	pairs, err := e.probeOnce(ep, t)
+	var he *httpStatusError
+	if errors.As(err, &he) && he.status == http.StatusPreconditionFailed {
+		// The worker doesn't know the job — it is fresh or was restarted
+		// after a crash. Hand it the spec and retry on the same endpoint;
+		// the rebuild is deterministic, so the answer is unchanged.
+		if lerr := e.load(ep, t); lerr != nil {
+			br.Record(lerr)
+			return nil, lerr
+		}
+		pairs, err = e.probeOnce(ep, t)
+	}
+	br.Record(err)
+	return pairs, err
+}
+
+// post sends v as JSON and returns the response body on 2xx, or an
+// httpStatusError carrying the status and (truncated) body otherwise.
+func (e *RemoteExecutor) post(url, idemKey string, v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read side already decided the outcome
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		msg := string(data)
+		if len(msg) > 256 {
+			msg = msg[:256]
+		}
+		return nil, &httpStatusError{status: resp.StatusCode, msg: msg}
+	}
+	return data, nil
+}
+
+func (e *RemoteExecutor) probeOnce(ep string, t Task) ([]record.Pair, error) {
+	data, err := e.post(ep+"/shard/probe", fmt.Sprintf("%s-%d", t.Job, t.Seq), t)
+	if err != nil {
+		return nil, err
+	}
+	var pr probeResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		return nil, fmt.Errorf("shard: bad probe response from %s: %w", ep, err)
+	}
+	return pr.Pairs, nil
+}
+
+// load hands the worker everything it needs to rebuild the job: the
+// executor's dataset recipe plus the job id, shard count, and anchor
+// feature carried by the task itself. All tasks of one job agree on those
+// fields (the planner picks one anchor per run), so the resulting spec is
+// identical whichever task triggers the load — which is what keeps the
+// worker's spec-conflict check quiet across retries and failover.
+func (e *RemoteExecutor) load(ep string, t Task) error {
+	spec := e.spec
+	spec.Job = t.Job
+	spec.Shards = t.Shards
+	spec.Feature = t.Feature
+	_, err := e.post(ep+"/shard/load", "load-"+spec.Job, spec)
+	if err != nil {
+		return fmt.Errorf("shard: load job %q on %s: %w", spec.Job, ep, err)
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"github.com/corleone-em/corleone/internal/datagen"
+	"github.com/corleone-em/corleone/internal/feature"
+	"github.com/corleone-em/corleone/internal/record"
+	"github.com/corleone-em/corleone/internal/similarity"
+	"github.com/corleone-em/corleone/internal/simindex"
+)
+
+// JobSpec is everything a worker process needs to reconstruct a blocking
+// job's inputs from nothing: the deterministic dataset recipe plus the
+// anchor feature and shard count. Workers rebuild rather than receive the
+// data — same spec, any process, byte-identical dataset — which is what
+// makes a crash-restarted worker able to serve retried tasks correctly
+// with no state transfer.
+type JobSpec struct {
+	// Job identifies the job; probes carry the same id.
+	Job string `json:"job"`
+	// Dataset names a datagen profile (resolved via ProfileByName); Scale
+	// and Noise parameterize it exactly as runsvc job metas do.
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale,omitempty"`
+	Noise   float64 `json:"noise,omitempty"`
+	// Shards is the job's partition width K; Feature the anchor feature's
+	// index in the job's extractor.
+	Shards  int `json:"shards"`
+	Feature int `json:"feature"`
+}
+
+// ErrUnknownJob is returned by Probe for a job id the worker has not
+// loaded. Over HTTP it maps to 412 Precondition Failed, which tells the
+// client to POST the job's spec to /shard/load and retry — the lazy-load
+// handshake that lets a restarted worker rejoin mid-run.
+var ErrUnknownJob = errors.New("shard: unknown job")
+
+// workerJob is one loaded job: the rebuilt extractor plus lazily built
+// per-shard indexes. Only the shards this worker is actually asked to
+// probe are ever indexed, so per-process index memory is bounded by the
+// shards routed here, not the whole table.
+type workerJob struct {
+	spec  JobSpec
+	ex    *feature.Extractor
+	kind  simindex.Kind
+	profA []*similarity.Profile
+	parts [][]int32 // Partition(|B|, K), computed once at load
+
+	mu     sync.Mutex
+	shards map[int]*Index
+}
+
+// shardIndex returns shard s's index, building it on first use.
+func (j *workerJob) shardIndex(s int) (*Index, error) {
+	if s < 0 || s >= j.spec.Shards {
+		return nil, fmt.Errorf("shard: shard %d out of range [0,%d)", s, j.spec.Shards)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ix, ok := j.shards[s]; ok {
+		return ix, nil
+	}
+	_, profB := j.ex.Profiles(j.spec.Feature)
+	ix := BuildIndex(j.kind, profB, j.parts[s])
+	j.shards[s] = ix
+	return ix, nil
+}
+
+// WorkerStats counts a worker's activity; read by its /metrics endpoint.
+type WorkerStats struct {
+	// JobsLoaded counts /shard/load builds (idempotent re-loads excluded);
+	// Probes counts tasks served.
+	JobsLoaded atomic.Int64
+	Probes     atomic.Int64
+}
+
+// Worker is a shard worker's in-process core: a registry of loaded jobs
+// and the probe evaluator. Serve it over HTTP with Handler, or call Load/
+// Probe directly in tests. Safe for concurrent use.
+type Worker struct {
+	mu    sync.Mutex
+	jobs  map[string]*workerJob
+	stats WorkerStats
+}
+
+// NewWorker returns an empty worker.
+func NewWorker() *Worker { return &Worker{jobs: make(map[string]*workerJob)} }
+
+// Stats exposes the worker's counters.
+func (w *Worker) Stats() *WorkerStats { return &w.stats }
+
+// Load makes the job probeable: it regenerates the spec's dataset, builds
+// the extractor, and precomputes the shard partition. Loading the same
+// spec again is a no-op (retried loads are idempotent); reusing a job id
+// with a different spec is an error — a spec is immutable for its job's
+// lifetime, which is what keeps retried probes byte-identical.
+func (w *Worker) Load(spec JobSpec) error {
+	if spec.Job == "" {
+		return errors.New("shard: job spec missing job id")
+	}
+	if spec.Shards < 1 {
+		return fmt.Errorf("shard: job %q: shards must be >= 1", spec.Job)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if prev, ok := w.jobs[spec.Job]; ok {
+		if prev.spec != spec {
+			return fmt.Errorf("shard: job %q already loaded with a different spec", spec.Job)
+		}
+		return nil
+	}
+	ds, err := datagen.DatasetFor(spec.Dataset, spec.Scale, spec.Noise)
+	if err != nil {
+		return err
+	}
+	ex := feature.NewExtractor(ds)
+	if spec.Feature < 0 || spec.Feature >= ex.NumFeatures() {
+		return fmt.Errorf("shard: job %q: feature %d out of range [0,%d)",
+			spec.Job, spec.Feature, ex.NumFeatures())
+	}
+	kind, ok := simindex.KindOf(ex.Features()[spec.Feature].Kind)
+	if !ok {
+		return fmt.Errorf("shard: job %q: feature %d (%s) is not indexable",
+			spec.Job, spec.Feature, ex.Name(spec.Feature))
+	}
+	profA, profB := ex.Profiles(spec.Feature)
+	w.jobs[spec.Job] = &workerJob{
+		spec:   spec,
+		ex:     ex,
+		kind:   kind,
+		profA:  profA,
+		parts:  Partition(len(profB), spec.Shards),
+		shards: make(map[int]*Index),
+	}
+	w.stats.JobsLoaded.Add(1)
+	return nil
+}
+
+// Probe executes one task against a loaded job: probe the task's shard for
+// each row in [ALo, AHi), verify candidates against the task's rule set,
+// return survivors in (a, b) order — the same semantics as LocalExecutor,
+// recomputed from the worker's own deterministic rebuild of the dataset.
+func (w *Worker) Probe(t Task) ([]record.Pair, error) {
+	w.mu.Lock()
+	job, ok := w.jobs[t.Job]
+	w.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, t.Job)
+	}
+	if t.Shards != job.spec.Shards {
+		return nil, fmt.Errorf("shard: task wants %d shards, job %q has %d",
+			t.Shards, t.Job, job.spec.Shards)
+	}
+	if t.ALo < 0 || int(t.AHi) > len(job.profA) || t.ALo > t.AHi {
+		return nil, fmt.Errorf("shard: probe rows [%d,%d) out of range [0,%d)",
+			t.ALo, t.AHi, len(job.profA))
+	}
+	ix, err := job.shardIndex(t.Shard)
+	if err != nil {
+		return nil, err
+	}
+	v := NewVerifier(job.ex, t.Rules)
+	is := simindex.NewScratch()
+	var out []record.Pair
+	var cand []int32
+	for a := t.ALo; a < t.AHi; a++ {
+		cand = ix.Candidates(job.profA[a], t.Theta, is, cand[:0])
+		for _, b := range cand {
+			p := record.Pair{A: a, B: b}
+			if v.Survives(p) {
+				out = append(out, p)
+			}
+		}
+	}
+	w.stats.Probes.Add(1)
+	return out, nil
+}
+
+// probeResponse is the /shard/probe wire envelope.
+type probeResponse struct {
+	Pairs []record.Pair `json:"pairs"`
+}
+
+// Handler serves the worker over HTTP:
+//
+//	GET  /healthz     → 200 "ok" once the process accepts work
+//	GET  /metrics     → worker counters as JSON
+//	POST /shard/load  → body JobSpec; 200 when the job is probeable
+//	POST /shard/probe → body Task; 200 with {"pairs": [...]}, or 412 when
+//	                    the job is not loaded (client should load + retry)
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(rw, "ok") //nolint:errcheck // best-effort health reply
+	})
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		w.mu.Lock()
+		jobs := len(w.jobs)
+		w.mu.Unlock()
+		writeWorkerJSON(rw, http.StatusOK, map[string]int64{
+			"jobs_loaded": int64(jobs),
+			"loads_total": w.stats.JobsLoaded.Load(),
+			"probes":      w.stats.Probes.Load(),
+		})
+	})
+	mux.HandleFunc("/shard/load", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := w.Load(spec); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeWorkerJSON(rw, http.StatusOK, map[string]string{"status": "loaded"})
+	})
+	mux.HandleFunc("/shard/probe", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var t Task
+		if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		pairs, err := w.Probe(t)
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			http.Error(rw, err.Error(), http.StatusPreconditionFailed)
+		case err != nil:
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+		default:
+			writeWorkerJSON(rw, http.StatusOK, probeResponse{Pairs: pairs})
+		}
+	})
+	return mux
+}
+
+// writeWorkerJSON writes v as a JSON response. Encode failure past the
+// header write can only be a dead connection; the client's read error is
+// the signal there.
+func writeWorkerJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	//nolint:errcheck // header already written; a torn pipe surfaces client-side
+	json.NewEncoder(rw).Encode(v)
+}

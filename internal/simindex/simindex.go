@@ -148,6 +148,26 @@ func Build(kind Kind, profs []*similarity.Profile) *Index {
 // Tokens returns the number of distinct indexed tokens (diagnostics).
 func (ix *Index) Tokens() int { return len(ix.postings) }
 
+// mapEntryOverhead approximates Go map bookkeeping per postings entry:
+// bucket slot, string header, and slice header. The constant only needs to
+// be stable and order-of-magnitude right — Footprint feeds capacity
+// planning and the sharded-execution benchmarks, not an allocator.
+const mapEntryOverhead = 64
+
+// Footprint estimates the index's resident bytes: token keys, postings ids
+// (4 bytes each), per-token map overhead, and the size array. It is the
+// quantity sharded execution bounds per worker — at billions of candidate
+// pairs the postings lists are the dominant memory term of the blocking
+// scan.
+func (ix *Index) Footprint() int64 {
+	var n int64
+	for t, ps := range ix.postings {
+		n += int64(len(t)) + mapEntryOverhead + int64(len(ps))*4
+	}
+	n += int64(len(ix.size))*4 + int64(len(ix.emptySet))*4
+	return n
+}
+
 // Scratch carries one probe's reusable working state: an epoch-stamped
 // seen-mark per indexed row (so candidate sets dedupe without clearing an
 // array per probe) and the candidate accumulator. One Scratch serves one

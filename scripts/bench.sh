@@ -10,24 +10,29 @@
 #   scripts/bench.sh smoke        # -benchtime=1x smoke mode for CI (seconds)
 #   BENCH_OUT=out.json scripts/bench.sh
 #
-# The output (default BENCH_PR3.json) has these sections:
+# The output (default BENCH_PR6.json) has these sections:
 #   mode        "smoke" or "full" — smoke numbers are single-iteration and
 #               only prove the harness runs; compare speedups in full mode
 #   gomaxprocs/num_cpu  the parallelism the run actually had. Parallel-vs-
-#               serial speedups (forest_train) are meaningless on a 1-core
-#               box, so consumers must read them alongside these fields.
+#               serial speedups (forest_train, blocking_sharded) are
+#               meaningless on a 1-core box, so consumers must read them
+#               alongside these fields.
 #   benchmarks  one entry per benchmark: ns/op, B/op, allocs/op, custom
 #               metrics such as pairs/op; "cpus" when run under -cpu
 #   speedups    baseline/optimized pairs with the ns/op ratio (at the
 #               highest -cpu value when a benchmark ran under several)
 #   memory      baseline/optimized pairs compared on bytes/op — the
 #               streaming umbrella set is a peak-memory fix, not a CPU one
+#   blocking_sharded  the K=4 sharded strategy at 1/2/4/8 coordinator
+#               workers vs the K=1 single index: ns/op speedup plus the
+#               per-shard peak index bytes (the scale-out memory story —
+#               per-shard bytes shrink ~K-fold regardless of CPU count)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
-OUT="${BENCH_OUT:-BENCH_PR3.json}"
+OUT="${BENCH_OUT:-BENCH_PR6.json}"
 NCPU="$(nproc 2>/dev/null || echo 1)"
 
 case "$MODE" in
@@ -53,6 +58,10 @@ run() { # run <package> <bench regexp> [extra go-test flags...]
 run ./internal/similarity/ 'BenchmarkCosine(String|Profile)$|BenchmarkEditSim(String|Profile)$'
 run ./internal/feature/ 'BenchmarkVectors(String)?$|BenchmarkNewExtractor$'
 run ./internal/blocker/ 'BenchmarkApplyRules(String|Indexed|IndexedSelective)?$|BenchmarkUmbrella(Materialized|Streaming)$'
+# Sharded blocking: K=1 single index vs K=4 under a 1/2/4/8-worker sweep.
+# Like forest_train, the worker-sweep speedups only mean parallelism on a
+# multi-core box; the per-shard footprint column is CPU-independent.
+run ./internal/blocker/ 'BenchmarkShardedBlocking(K1|W1|W2|W4|W8)$'
 # Forest training is parallel across trees: run serial-vs-parallel at 1 CPU
 # and at every CPU, so the forest_train speedup is read at real parallelism
 # (PR2 recorded 0.98x here — an artifact of benchmarking on a 1-core box).
@@ -83,6 +92,7 @@ BEGIN { n = 0 }
 		else if ($(i+1) == "B/op") bytes = $i
 		else if ($(i+1) == "allocs/op") allocs = $i
 		else if ($(i+1) !~ /^[0-9.]+$/) {
+			if ($(i+1) == "shard-peak-B") shardof[name] = $i
 			if (extra != "") extra = extra ","
 			extra = extra sprintf("\"%s\":%s", $(i+1), $i)
 		}
@@ -102,6 +112,15 @@ function speedup(label, base, opt,   s) {
 	s = nsof[base] / nsof[opt]
 	return sprintf("    {\"name\":\"%s\",\"baseline\":\"%s\",\"optimized\":\"%s\",\"speedup\":%.2f}", \
 		label, base, opt, s)
+}
+function shardrow(workers, base, opt,   s, line) {
+	if (nsof[base] == "" || nsof[opt] == "" || nsof[opt] + 0 == 0) return ""
+	s = nsof[base] / nsof[opt]
+	line = sprintf("    {\"name\":\"sharded_w%d\",\"workers\":%d,\"baseline\":\"%s\",\"bench\":\"%s\",\"speedup\":%.2f", \
+		workers, workers, base, opt, s)
+	if (shardof[opt] != "") line = line sprintf(",\"per_shard_peak_bytes\":%s", shardof[opt])
+	if (shardof[base] != "") line = line sprintf(",\"baseline_index_bytes\":%s", shardof[base])
+	return line "}"
 }
 function memcut(label, base, opt,   s) {
 	if (bytesof[base] == "" || bytesof[opt] == "" || bytesof[opt] + 0 == 0) return ""
@@ -125,6 +144,13 @@ END {
 	printf "  ],\n  \"memory\": [\n"
 	m = 0
 	if ((s = memcut("umbrella_streaming", "BenchmarkUmbrellaMaterialized", "BenchmarkUmbrellaStreaming")) != "") sp[++m] = s
+	for (i = 1; i <= m; i++) printf "%s%s\n", sp[i], (i < m ? "," : "")
+	printf "  ],\n  \"blocking_sharded\": [\n"
+	m = 0
+	if ((s = shardrow(1, "BenchmarkShardedBlockingK1", "BenchmarkShardedBlockingW1")) != "") sp[++m] = s
+	if ((s = shardrow(2, "BenchmarkShardedBlockingK1", "BenchmarkShardedBlockingW2")) != "") sp[++m] = s
+	if ((s = shardrow(4, "BenchmarkShardedBlockingK1", "BenchmarkShardedBlockingW4")) != "") sp[++m] = s
+	if ((s = shardrow(8, "BenchmarkShardedBlockingK1", "BenchmarkShardedBlockingW8")) != "") sp[++m] = s
 	for (i = 1; i <= m; i++) printf "%s%s\n", sp[i], (i < m ? "," : "")
 	printf "  ]\n}\n"
 }

@@ -26,6 +26,11 @@ go build ./...
 # covers the full schedule matrix (chaos suite included).
 go test -count=1 -run 'TestChaosSchedules/(5xx-burst|kill-points)' ./internal/faultkit
 
+# Sharded smoke: the bit-identical equivalence sweep (K x GOMAXPROCS) and
+# one shard-worker failover schedule, again without -race for fast signal.
+go test -count=1 -run 'TestShardedBlockingEquivalence|TestShardedMergeDeterminism' ./internal/blocker
+go test -count=1 -run 'TestShardWorkerChaos/5xx-failover' ./internal/faultkit
+
 go test -race ./...
 
 # Bench-smoke sanity: every benchmark must still run (one iteration) and
