@@ -40,11 +40,13 @@ shard:
 	$(GO) test -race -count=1 -run 'TestManagerRemoteShardExecution|TestHealthzAndMetrics' ./internal/runsvc
 	$(GO) test -race -count=1 -v -run 'TestShardWorkerChaos' ./internal/faultkit
 
-# Hot-path benchmarks -> BENCH_PR6.json (ns/op, allocs, speedup pairs,
+# Hot-path benchmarks -> BENCH_PR7.json (ns/op, allocs, speedup pairs,
 # a memory section contrasting the streaming umbrella set with full
 # materialization, and the sharded-blocking worker sweep).
-# `bench` takes minutes and gives stable numbers; `bench-smoke` runs every
-# benchmark once so CI can prove the harness works in seconds.
+# `bench` takes minutes, gives stable numbers, and enforces the scoring-core
+# speedup floors (edit_similarity, forest_score, forest_train) recorded in
+# BENCH_PR7.json; `bench-smoke` runs every benchmark once so CI can prove
+# the harness works in seconds, floors not enforced.
 bench:
 	sh scripts/bench.sh full
 

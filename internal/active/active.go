@@ -11,7 +11,6 @@ import (
 
 	"github.com/corleone-em/corleone/internal/crowd"
 	"github.com/corleone-em/corleone/internal/forest"
-	"github.com/corleone-em/corleone/internal/par"
 	"github.com/corleone-em/corleone/internal/record"
 	"github.com/corleone-em/corleone/internal/stats"
 )
@@ -231,6 +230,7 @@ func Learn(runner *crowd.Runner, pairs []record.Pair, X [][]float64,
 	var (
 		trace   Trace
 		forests []*forest.Forest
+		r       ranker
 	)
 	fcfg := cfg.Forest
 	baseSeed := cfg.Seed
@@ -239,7 +239,7 @@ func Learn(runner *crowd.Runner, pairs []record.Pair, X [][]float64,
 		fcfg.Seed = baseSeed + int64(iter)*7919
 		f := forest.Train(trainX, trainY, fcfg)
 		forests = append(forests, f)
-		trace.Confidence = append(trace.Confidence, f.MeanConfidence(V))
+		trace.Confidence = append(trace.Confidence, r.sc.MeanConfidence(f, V))
 		trace.Iterations = iter + 1
 
 		if reason, ok := shouldStop(trace.Confidence, cfg); ok {
@@ -257,7 +257,7 @@ func Learn(runner *crowd.Runner, pairs []record.Pair, X [][]float64,
 
 		// Select the q-example batch: top p by entropy, then
 		// entropy-weighted sampling for diversity (§5.2).
-		batch := selectBatch(rng, f, X, consumed, inMonitor, cfg)
+		batch := r.selectBatch(rng, f, X, consumed, inMonitor, cfg)
 		if len(batch) == 0 {
 			trace.Reason = StopPoolExhausted
 			break
@@ -299,59 +299,95 @@ type cand struct {
 	entropy float64
 }
 
-// selectBatch returns pool indices for the next labeling batch.
-func selectBatch(rng *rand.Rand, f *forest.Forest, X [][]float64,
+// ranker is the reusable workspace for example selection (§5.2) and
+// monitoring-set scoring (§5.3). Its buffers — the batched forest scorer,
+// the eligible-pool collections, the entropy scratch, and the weighted
+// sampler — grow to the pool size on the first iteration and are retained,
+// so ranking a candidate block is zero-alloc in steady state even though
+// the loop re-scores the entire pool after every retrain. The zero value
+// is ready to use.
+type ranker struct {
+	sc      forest.Scorer
+	sampler stats.WeightedSampler
+	pool    []int       // eligible pool indices, rebuilt each call
+	vecs    [][]float64 // feature vectors aligned with pool
+	ents    []float64   // batched entropies aligned with pool
+	cands   []cand      // ranking records for the partial sort
+	weights []float64   // top-p entropies for weighted sampling
+	perm    []int       // SampleIndicesInto scratch (random strategy)
+	out     []int       // selected pool indices, valid until next call
+}
+
+// selectBatch returns pool indices for the next labeling batch. The result
+// aliases the ranker's buffers and is valid until the next call.
+func (r *ranker) selectBatch(rng *rand.Rand, f *forest.Forest, X [][]float64,
 	consumed, inMonitor []bool, cfg Config) []int {
 
+	pool := r.pool[:0]
 	if cfg.Strategy == StrategyRandom {
-		var pool []int
 		for i := range X {
 			if !consumed[i] && !inMonitor[i] {
 				pool = append(pool, i)
 			}
 		}
-		out := make([]int, 0, cfg.BatchQ)
-		for _, j := range stats.SampleIndices(rng, len(pool), cfg.BatchQ) {
+		r.pool = pool
+		if cap(r.perm) < len(pool) {
+			r.perm = make([]int, len(pool))
+		}
+		out := r.out[:0]
+		for _, j := range stats.SampleIndicesInto(rng, len(pool), cfg.BatchQ, r.perm) {
 			out = append(out, pool[j])
 		}
+		r.out = out
 		return out
 	}
 
 	// Collect the eligible pool serially (cheap, preserves index order),
-	// then score it in parallel: each candidate's entropy is independent
-	// and lands at its own slot, so the ranking input is identical to the
-	// serial loop's.
-	var pool []cand
+	// then score it through the batched SoA path: entropies land at their
+	// own slots, so the ranking input is identical to the per-vector loop
+	// this replaced, at a fraction of the walk cost and without per-call
+	// slices.
+	vecs := r.vecs[:0]
 	for i := range X {
 		if consumed[i] || inMonitor[i] {
 			continue
 		}
-		pool = append(pool, cand{idx: i})
+		pool = append(pool, i)
+		vecs = append(vecs, X[i])
 	}
+	r.pool, r.vecs = pool, vecs
 	if len(pool) == 0 {
 		return nil
 	}
-	par.For(len(pool), func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			pool[k].entropy = f.Entropy(X[pool[k].idx])
-		}
-	})
+	if cap(r.ents) < len(pool) {
+		r.ents = make([]float64, len(pool))
+	}
+	ents := r.sc.EntropiesInto(f, vecs, r.ents[:len(pool)])
+	cands := r.cands[:0]
+	for j, i := range pool {
+		cands = append(cands, cand{idx: i, entropy: ents[j]})
+	}
+	r.cands = cands
 	// Top p by entropy. Partial selection sort is fine at p=100.
 	p := cfg.PoolP
-	if p > len(pool) {
-		p = len(pool)
+	if p > len(cands) {
+		p = len(cands)
 	}
-	partialSortByEntropy(pool, p)
-	top := pool[:p]
-	weights := make([]float64, len(top))
+	partialSortByEntropy(cands, p)
+	top := cands[:p]
+	if cap(r.weights) < p {
+		r.weights = make([]float64, p)
+	}
+	weights := r.weights[:p]
 	for i, c := range top {
 		weights[i] = c.entropy
 	}
-	picked := stats.WeightedSampleWithoutReplacement(rng, weights, cfg.BatchQ)
-	out := make([]int, len(picked))
-	for i, j := range picked {
-		out[i] = top[j].idx
+	picked := r.sampler.Sample(rng, weights, cfg.BatchQ)
+	out := r.out[:0]
+	for _, j := range picked {
+		out = append(out, top[j].idx)
 	}
+	r.out = out
 	return out
 }
 

@@ -36,7 +36,7 @@ func TestLearnIndependentOfParallelism(t *testing.T) {
 	if !reflect.DeepEqual(serial.Training, parallel.Training) {
 		t.Error("training sets differ between serial and parallel runs")
 	}
-	if !reflect.DeepEqual(serial.Forest.Trees, parallel.Forest.Trees) {
+	if !reflect.DeepEqual(serial.Forest, parallel.Forest) {
 		t.Error("selected forests differ between serial and parallel runs")
 	}
 }

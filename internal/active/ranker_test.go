@@ -1,0 +1,93 @@
+package active
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/forest"
+)
+
+// rankerFixture builds a trained forest and an eligibility mask over a
+// synthetic pool, the inputs selectBatch consumes every iteration.
+func rankerFixture(n int) (f *forest.Forest, X [][]float64, consumed, inMonitor []bool) {
+	rng := rand.New(rand.NewSource(11))
+	X = make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = X[i][0] > 0.5
+	}
+	f = forest.Train(X[:200], y[:200], forest.Defaults())
+	consumed = make([]bool, n)
+	inMonitor = make([]bool, n)
+	for i := 0; i < n; i += 37 {
+		consumed[i] = true
+	}
+	return f, X, consumed, inMonitor
+}
+
+// TestRankerZeroAllocSteadyState pins the per-iteration ranking cost: once
+// the ranker's buffers have grown to the pool, selecting a batch — pool
+// collection, batched entropy scoring, partial sort, weighted sampling —
+// allocates nothing, for both selection strategies. par.For only hands out
+// goroutines above GOMAXPROCS 1, so the assertion runs on the inline path.
+func TestRankerZeroAllocSteadyState(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	f, X, consumed, inMonitor := rankerFixture(2000)
+	rng := rand.New(rand.NewSource(3))
+	cfg := Defaults()
+
+	var r ranker
+	r.selectBatch(rng, f, X, consumed, inMonitor, cfg) // warm the buffers
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.selectBatch(rng, f, X, consumed, inMonitor, cfg)
+	}); allocs != 0 {
+		t.Errorf("entropy selectBatch steady state allocates %.1f per op, want 0", allocs)
+	}
+
+	rcfg := cfg
+	rcfg.Strategy = StrategyRandom
+	r.selectBatch(rng, f, X, consumed, inMonitor, rcfg)
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.selectBatch(rng, f, X, consumed, inMonitor, rcfg)
+	}); allocs != 0 {
+		t.Errorf("random selectBatch steady state allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestRankerMatchesPointwiseScoring pins the batched ranking input: the
+// entropies the ranker feeds the partial sort are bit-identical to scoring
+// each eligible candidate through the single-vector path.
+func TestRankerMatchesPointwiseScoring(t *testing.T) {
+	f, X, consumed, inMonitor := rankerFixture(700)
+	cfg := Defaults()
+	var r ranker
+	r.selectBatch(rand.New(rand.NewSource(5)), f, X, consumed, inMonitor, cfg)
+	for j, i := range r.pool {
+		if consumed[i] || inMonitor[i] {
+			t.Fatalf("pool contains ineligible index %d", i)
+		}
+		if want := f.Entropy(X[i]); r.ents[j] != want {
+			t.Fatalf("batched entropy[%d] = %v, single-vector = %v", i, r.ents[j], want)
+		}
+	}
+}
+
+// BenchmarkSelectBatch measures one iteration of §5.2 example selection
+// over a 5000-candidate pool — the ranking hot path Learn runs after every
+// retrain. Zero-alloc in steady state at GOMAXPROCS=1.
+func BenchmarkSelectBatch(b *testing.B) {
+	f, X, consumed, inMonitor := rankerFixture(5000)
+	rng := rand.New(rand.NewSource(3))
+	cfg := Defaults()
+	var r ranker
+	var batch []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch = r.selectBatch(rng, f, X, consumed, inMonitor, cfg)
+	}
+	_ = batch
+}

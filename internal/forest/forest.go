@@ -4,6 +4,14 @@
 // vote. It also provides the prediction entropy/confidence of Eq. 1 that
 // drives active learning, and extraction of deduplicated positive and
 // negative rules across trees (§4.1, §7).
+//
+// The trained forest lives in a structure-of-arrays layout: every tree's
+// nodes are flat feature/threshold/left/right/label slices packed
+// contiguously across trees (soa.go), so scoring walks dense arrays
+// instead of chasing per-node heap pointers, and a batched evaluator
+// routes blocks of vectors through all trees cache-friendly. Training
+// grows trees directly into that layout with per-goroutine scratch
+// (grow.go), bit-identical to the retained pointer-tree reference.
 package forest
 
 import (
@@ -52,15 +60,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Forest is a trained random forest.
+// Forest is a trained random forest in the packed SoA layout of soa.go.
 type Forest struct {
-	Trees []*tree.Tree
-	cfg   Config
+	cfg Config
+	soa
 }
 
 // TrainConfig returns the hyperparameters the forest was trained with
 // (defaults applied). Round-tripped by Save/Load.
 func (f *Forest) TrainConfig() Config { return f.cfg }
+
+// NumTrees returns k, the number of component trees.
+func (f *Forest) NumTrees() int { return len(f.roots) }
 
 // Train grows a forest on feature matrix X and labels y. It panics if X is
 // empty or ragged — the callers (active learning, blocker) always supply at
@@ -82,7 +93,6 @@ func Train(X [][]float64, y []bool, cfg Config) *Forest {
 		m = nf
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	f := &Forest{cfg: cfg}
 	bag := int(math.Ceil(cfg.BagFraction * float64(len(X))))
 	if bag < 1 {
 		bag = 1
@@ -90,37 +100,57 @@ func Train(X [][]float64, y []bool, cfg Config) *Forest {
 	// Per-tree seeds are drawn serially up front from the forest RNG — the
 	// t-th tree gets the t-th Int63, exactly as the serial loop did — so the
 	// trees can then grow concurrently (each on its own RNG, written to its
-	// own index) while the grown forest stays bit-identical to the serial
+	// own slot) while the grown forest stays bit-identical to the serial
 	// output for a given cfg.Seed.
 	seeds := make([]int64, cfg.NumTrees)
 	for t := range seeds {
 		seeds[t] = rng.Int63()
 	}
-	f.Trees = make([]*tree.Tree, cfg.NumTrees)
+	// Each par chunk owns one grower — bootstrap buffer, feature marks,
+	// sort and partition scratch — reused across its trees, so goroutines
+	// do meaningfully independent work: no shared mutable state, and near
+	// zero allocation past the emitted trees themselves (the old path
+	// allocated fresh index slices and sort closures at every node, which
+	// serialized concurrent growth on the allocator).
+	parts := make([]soaTree, cfg.NumTrees)
 	par.For(cfg.NumTrees, func(lo, hi int) {
+		g := newGrower(X, y, m, cfg.MinLeaf, cfg.MaxDepth)
 		for t := lo; t < hi; t++ {
-			treeRng := rand.New(rand.NewSource(seeds[t]))
-			idx := stats.SampleIndices(treeRng, len(X), bag)
-			f.Trees[t] = tree.Grow(X, y, idx, tree.Config{
-				MaxDepth:         cfg.MaxDepth,
-				MinLeaf:          cfg.MinLeaf,
-				FeaturesPerSplit: m,
-				Rand:             treeRng,
-			})
+			g.rng = rand.New(rand.NewSource(seeds[t]))
+			idx := stats.SampleIndicesInto(g.rng, len(X), bag, g.sample)
+			parts[t] = g.growTree(idx)
 		}
 	})
+	f := &Forest{cfg: cfg}
+	f.soa = packTrees(parts)
+	f.buildTables()
 	return f
+}
+
+// posCount walks every tree and counts "match" votes for v.
+func (f *Forest) posCount(v []float64) int {
+	feature, threshold := f.feature, f.threshold
+	left, right, label := f.left, f.right, f.label
+	pos := 0
+	for _, root := range f.roots {
+		n := root
+		for feature[n] >= 0 {
+			if v[feature[n]] <= threshold[n] {
+				n = left[n]
+			} else {
+				n = right[n]
+			}
+		}
+		if label[n] {
+			pos++
+		}
+	}
+	return pos
 }
 
 // PosFraction returns P+(e): the fraction of trees voting "match" on v.
 func (f *Forest) PosFraction(v []float64) float64 {
-	pos := 0
-	for _, t := range f.Trees {
-		if t.Predict(v) {
-			pos++
-		}
-	}
-	return float64(pos) / float64(len(f.Trees))
+	return float64(f.posCount(v)) / float64(len(f.roots))
 }
 
 // Predict returns the majority vote (ties go to "no match", the safe
@@ -130,9 +160,11 @@ func (f *Forest) Predict(v []float64) bool {
 }
 
 // Entropy computes Eq. 1: -[P+ ln P+ + P- ln P-], the disagreement of the
-// component trees on example v. It ranges over [0, ln 2].
+// component trees on example v. It ranges over [0, ln 2]. Only k+1 vote
+// fractions exist, so the value comes from the precomputed table — built
+// with the exact EntropyOf(PosFraction) expression, hence bit-identical.
 func (f *Forest) Entropy(v []float64) float64 {
-	return EntropyOf(f.PosFraction(v))
+	return f.entTab[f.posCount(v)]
 }
 
 // EntropyOf computes Eq. 1 from a positive-vote fraction.
@@ -149,45 +181,30 @@ func EntropyOf(pPos float64) float64 {
 
 // Confidence returns conf(e) = 1 - entropy(e) (§5.3).
 func (f *Forest) Confidence(v []float64) float64 {
-	return 1 - f.Entropy(v)
+	return f.confTab[f.posCount(v)]
 }
 
 // Confidences returns conf(e) for every vector, computed in parallel (each
-// element is independent and lands at its own index).
+// element is independent and lands at its own index). Callers scoring
+// repeatedly should hold a Scorer and use ConfidencesInto to reuse buffers.
 func (f *Forest) Confidences(V [][]float64) []float64 {
-	out := make([]float64, len(V))
-	par.For(len(V), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = f.Confidence(V[i])
-		}
-	})
-	return out
+	var sc Scorer
+	return sc.ConfidencesInto(f, V, make([]float64, len(V)))
 }
 
 // Entropies returns Entropy(e) for every vector, computed in parallel.
 // Active learning uses it to rank the unlabeled pool each iteration.
 func (f *Forest) Entropies(V [][]float64) []float64 {
-	out := make([]float64, len(V))
-	par.For(len(V), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = f.Entropy(V[i])
-		}
-	})
-	return out
+	var sc Scorer
+	return sc.EntropiesInto(f, V, make([]float64, len(V)))
 }
 
 // MeanConfidence returns conf(V) averaged over a monitoring set (§5.3).
 // Per-example confidences are computed in parallel, then summed serially in
 // index order so the floating-point result is identical to the serial loop.
 func (f *Forest) MeanConfidence(V [][]float64) float64 {
-	if len(V) == 0 {
-		return 1
-	}
-	sum := 0.0
-	for _, c := range f.Confidences(V) {
-		sum += c
-	}
-	return sum / float64(len(V))
+	var sc Scorer
+	return sc.MeanConfidence(f, V)
 }
 
 // Rules extracts every decision rule from every tree, deduplicated by
@@ -196,16 +213,16 @@ func (f *Forest) MeanConfidence(V [][]float64) float64 {
 // is deterministic given the training seed.
 func (f *Forest) Rules() (negative, positive []tree.Rule) {
 	seen := map[string]bool{}
-	for _, t := range f.Trees {
-		for _, r := range t.Rules() {
+	for t := range f.roots {
+		f.treeRules(t, func(r tree.Rule) {
 			// A rule with no predicates (single-leaf tree) covers
 			// everything and carries no information; skip it.
 			if len(r.Preds) == 0 {
-				continue
+				return
 			}
 			k := r.Key()
 			if seen[k] {
-				continue
+				return
 			}
 			seen[k] = true
 			if r.Positive {
@@ -213,26 +230,76 @@ func (f *Forest) Rules() (negative, positive []tree.Rule) {
 			} else {
 				negative = append(negative, r)
 			}
-		}
+		})
 	}
 	return negative, positive
+}
+
+// treeRules walks tree t root-to-leaf and emits each path as a rule, in
+// the same left-first order (and with the same predicate layout) as the
+// pointer-tree extraction it replaced.
+func (f *Forest) treeRules(t int, emit func(tree.Rule)) {
+	var path []tree.Predicate
+	var walk func(n int32)
+	walk = func(n int32) {
+		if f.feature[n] < 0 {
+			preds := make([]tree.Predicate, len(path))
+			copy(preds, path)
+			emit(tree.Rule{
+				Preds:    preds,
+				Positive: f.label[n],
+				LeafPos:  int(f.pos[n]),
+				LeafNeg:  int(f.neg[n]),
+			})
+			return
+		}
+		path = append(path, tree.Predicate{
+			Feature:   int(f.feature[n]),
+			Op:        tree.LE,
+			Threshold: f.threshold[n],
+		})
+		walk(f.left[n])
+		path[len(path)-1].Op = tree.GT
+		walk(f.right[n])
+		path = path[:len(path)-1]
+	}
+	walk(f.roots[t])
 }
 
 // NumLeaves returns the total leaf count across trees (the paper reports
 // 8–655 leaves per tree on its datasets).
 func (f *Forest) NumLeaves() int {
 	n := 0
-	for _, t := range f.Trees {
-		n += t.NumLeaves()
+	for _, feat := range f.feature {
+		if feat < 0 {
+			n++
+		}
 	}
 	return n
 }
 
-// String renders all trees with the given feature-name resolver.
+// String renders all trees with the given feature-name resolver, in the
+// indented style of the paper's Figure 2.
 func (f *Forest) String(name func(int) string) string {
 	var b strings.Builder
-	for i, t := range f.Trees {
-		fmt.Fprintf(&b, "Tree %d:\n%s", i+1, t.String(name))
+	for t := range f.roots {
+		fmt.Fprintf(&b, "Tree %d:\n", t+1)
+		f.renderNode(&b, f.roots[t], name, 0)
 	}
 	return b.String()
+}
+
+func (f *Forest) renderNode(b *strings.Builder, n int32, name func(int) string, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if f.feature[n] < 0 {
+		lbl := "No"
+		if f.label[n] {
+			lbl = "Yes"
+		}
+		fmt.Fprintf(b, "%s-> %s (%d+/%d-)\n", indent, lbl, f.pos[n], f.neg[n])
+		return
+	}
+	fmt.Fprintf(b, "%s[%s <= %.4g]\n", indent, name(int(f.feature[n])), f.threshold[n])
+	f.renderNode(b, f.left[n], name, depth+1)
+	f.renderNode(b, f.right[n], name, depth+1)
 }

@@ -1,6 +1,10 @@
 package forest
 
-import "testing"
+import (
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/par"
+)
 
 var sinkForest *Forest
 
@@ -30,15 +34,56 @@ func BenchmarkTrain(b *testing.B) {
 
 var sinkFloat float64
 
-// BenchmarkMeanConfidence measures parallel monitoring-set scoring, the
-// per-iteration cost of the §5.3 stopping check.
+// BenchmarkMeanConfidence measures monitoring-set scoring through a reused
+// Scorer, the per-iteration cost of the §5.3 stopping check. Zero-alloc in
+// steady state at GOMAXPROCS=1.
 func BenchmarkMeanConfidence(b *testing.B) {
 	X, y := randomTraining(3, 1000, 15)
 	f := Train(X, y, Defaults())
 	V, _ := randomTraining(5, 5000, 15)
+	sc := NewScorer()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sinkFloat = f.MeanConfidence(V)
+		sinkFloat = sc.MeanConfidence(f, V)
+	}
+}
+
+// BenchmarkScorePerVector measures the retained pre-SoA scoring reference —
+// the shipping Confidences path this PR replaced, reproduced faithfully:
+// a fresh output slice and par.For closure per call, pointer-tree
+// traversal one vector at a time, entropy recomputed through math.Log.
+func BenchmarkScorePerVector(b *testing.B) {
+	X, y := randomTraining(3, 1000, 15)
+	trees := trainSerialTrees(X, y, Defaults())
+	V, _ := randomTraining(5, 5000, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := make([]float64, len(V))
+		par.For(len(V), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				_, _, conf := referenceScores(trees, V[j])
+				out[j] = conf
+			}
+		})
+		sinkFloat = out[0]
+	}
+}
+
+// BenchmarkScoreBatched measures the shipping path over the same pool: SoA
+// arrays, tree-major blocked traversal, table-lookup confidences, reused
+// Scorer buffers.
+func BenchmarkScoreBatched(b *testing.B) {
+	X, y := randomTraining(3, 1000, 15)
+	f := Train(X, y, Defaults())
+	V, _ := randomTraining(5, 5000, 15)
+	sc := NewScorer()
+	out := make([]float64, len(V))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.ConfidencesInto(f, V, out)
+		sinkFloat = out[0]
 	}
 }

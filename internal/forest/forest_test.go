@@ -90,8 +90,8 @@ func TestNumTreesConfig(t *testing.T) {
 	cfg := Defaults()
 	cfg.NumTrees = 7
 	f := Train(X, y, cfg)
-	if len(f.Trees) != 7 {
-		t.Errorf("trees = %d, want 7", len(f.Trees))
+	if f.NumTrees() != 7 {
+		t.Errorf("trees = %d, want 7", f.NumTrees())
 	}
 }
 
@@ -186,7 +186,7 @@ func TestRulesExtraction(t *testing.T) {
 func TestNumLeaves(t *testing.T) {
 	X, y := makeData(300, 8)
 	f := Train(X, y, Defaults())
-	if f.NumLeaves() < len(f.Trees) {
+	if f.NumLeaves() < f.NumTrees() {
 		t.Errorf("NumLeaves = %d < tree count", f.NumLeaves())
 	}
 }
@@ -248,8 +248,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(g.Trees) != len(f.Trees) {
-		t.Fatalf("trees = %d, want %d", len(g.Trees), len(f.Trees))
+	if g.NumTrees() != f.NumTrees() {
+		t.Fatalf("trees = %d, want %d", g.NumTrees(), f.NumTrees())
 	}
 	for i := range X {
 		if f.PosFraction(X[i]) != g.PosFraction(X[i]) {

@@ -1,0 +1,73 @@
+package forest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// goldenNames is the feature naming the golden snapshot was saved with.
+func goldenNames() []string {
+	return []string{"f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7"}
+}
+
+// goldenForest retrains the exact forest behind testdata/model_presoa.json:
+// randomTraining(31, 300, 8) with the default config at seed 42. The
+// snapshot file was written by the pre-SoA pointer-tree implementation
+// from this same recipe, so it is a frozen sample of the old wire bytes.
+func goldenForest() *Forest {
+	X, y := randomTraining(31, 300, 8)
+	cfg := Defaults()
+	cfg.Seed = 42
+	return Train(X, y, cfg)
+}
+
+// TestLoadPreSoAGolden pins cross-version durability: a snapshot written by
+// the pointer-tree implementation loads into a forest identical to one
+// trained today, so runsvc journal replay keeps working across the layout
+// change.
+func TestLoadPreSoAGolden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "model_presoa.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(raw), goldenNames())
+	if err != nil {
+		t.Fatalf("pre-SoA snapshot rejected: %v", err)
+	}
+	want := goldenForest()
+	if !reflect.DeepEqual(loaded, want) {
+		t.Error("forest loaded from the pre-SoA snapshot differs from the retrained forest")
+	}
+}
+
+// TestSaveMatchesPreSoAGolden pins the wire format in the other direction:
+// the SoA serializer emits byte-for-byte what the pointer-tree serializer
+// wrote, both from a freshly trained forest and after a load round trip —
+// old readers can consume new snapshots.
+func TestSaveMatchesPreSoAGolden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "model_presoa.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := goldenForest().Save(&buf, goldenNames()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("Save output differs from the pre-SoA golden bytes")
+	}
+	loaded, err := Load(bytes.NewReader(raw), goldenNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := loaded.Save(&buf, goldenNames()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("load → save round trip changed the golden bytes")
+	}
+}

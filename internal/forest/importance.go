@@ -1,7 +1,5 @@
 package forest
 
-import "github.com/corleone-em/corleone/internal/tree"
-
 // FeatureImportance returns the mean-decrease-in-impurity importance of
 // each feature, normalized to sum to 1: every split's Gini decrease,
 // weighted by the fraction of training examples reaching it, credited to
@@ -10,32 +8,37 @@ import "github.com/corleone-em/corleone/internal/tree"
 // synthetic datasets, as they should).
 func (f *Forest) FeatureImportance(numFeatures int) []float64 {
 	imp := make([]float64, numFeatures)
-	for _, t := range f.Trees {
-		total := float64(t.Root.Pos + t.Root.Neg)
+	for t := range f.roots {
+		base := f.roots[t]
+		end := int32(len(f.feature))
+		if t+1 < len(f.roots) {
+			end = f.roots[t+1]
+		}
+		total := float64(f.pos[base] + f.neg[base])
 		if total == 0 {
 			continue
 		}
-		var walk func(n *tree.Node)
-		walk = func(n *tree.Node) {
-			if n == nil || n.IsLeaf() {
-				return
+		// The span is stored in pre-order, so this linear scan visits
+		// internal nodes in exactly the order the recursive walk did —
+		// the accumulation order, and hence the floats, are unchanged.
+		for p := base; p < end; p++ {
+			if f.feature[p] < 0 {
+				continue
 			}
-			nN := float64(n.Pos + n.Neg)
-			gParent := gini2(n.Pos, n.Neg)
-			lN := float64(n.Left.Pos + n.Left.Neg)
-			rN := float64(n.Right.Pos + n.Right.Neg)
+			nN := float64(f.pos[p] + f.neg[p])
+			gParent := gini2(int(f.pos[p]), int(f.neg[p]))
+			l, r := f.left[p], f.right[p]
+			lN := float64(f.pos[l] + f.neg[l])
+			rN := float64(f.pos[r] + f.neg[r])
 			gChildren := 0.0
 			if nN > 0 {
-				gChildren = lN/nN*gini2(n.Left.Pos, n.Left.Neg) +
-					rN/nN*gini2(n.Right.Pos, n.Right.Neg)
+				gChildren = lN/nN*gini2(int(f.pos[l]), int(f.neg[l])) +
+					rN/nN*gini2(int(f.pos[r]), int(f.neg[r]))
 			}
-			if dec := gParent - gChildren; dec > 0 && n.Feature < numFeatures {
-				imp[n.Feature] += (nN / total) * dec
+			if dec := gParent - gChildren; dec > 0 && int(f.feature[p]) < numFeatures {
+				imp[f.feature[p]] += (nN / total) * dec
 			}
-			walk(n.Left)
-			walk(n.Right)
 		}
-		walk(t.Root)
 	}
 	sum := 0.0
 	for _, v := range imp {

@@ -39,37 +39,53 @@ type savedForest struct {
 // Save serializes the forest as JSON, recording featureNames so the model
 // can later be applied to data featurized the same way (the paper's
 // Example 3.1: a trained toy matcher keeps matching future toys).
+//
+// The wire format is unchanged from the pointer-tree era: nodes per tree
+// in pre-order with tree-local child indices. The packed SoA layout stores
+// each tree's span in exactly that order, so emission is a linear scan of
+// the span with indices rebased by the span start, and the bytes written
+// for a given forest are identical to what the old walker produced —
+// runsvc journal snapshots replay across versions in both directions.
 func (f *Forest) Save(w io.Writer, featureNames []string) error {
 	out := savedForest{FeatureNames: featureNames, Config: f.cfg}
-	for _, t := range f.Trees {
-		var st savedTree
-		var flatten func(n *tree.Node) int
-		flatten = func(n *tree.Node) int {
-			idx := len(st.Nodes)
-			st.Nodes = append(st.Nodes, savedNode{Left: -1, Right: -1})
-			if n.IsLeaf() {
-				st.Nodes[idx] = savedNode{Feature: -1, Label: n.Label,
-					Pos: n.Pos, Neg: n.Neg, Left: -1, Right: -1}
-				return idx
-			}
-			st.Nodes[idx].Feature = n.Feature
-			st.Nodes[idx].Threshold = n.Threshold
-			st.Nodes[idx].Pos = n.Pos
-			st.Nodes[idx].Neg = n.Neg
-			st.Nodes[idx].Left = flatten(n.Left)
-			st.Nodes[idx].Right = flatten(n.Right)
-			return idx
+	for t := range f.roots {
+		base := f.roots[t]
+		end := int32(len(f.feature))
+		if t+1 < len(f.roots) {
+			end = f.roots[t+1]
 		}
-		flatten(t.Root)
+		st := savedTree{Nodes: make([]savedNode, 0, end-base)}
+		for p := base; p < end; p++ {
+			sn := savedNode{
+				Feature: int(f.feature[p]),
+				Pos:     int(f.pos[p]),
+				Neg:     int(f.neg[p]),
+				Left:    -1,
+				Right:   -1,
+			}
+			if f.feature[p] < 0 {
+				sn.Label = f.label[p]
+			} else {
+				sn.Threshold = f.threshold[p]
+				sn.Left = int(f.left[p] - base)
+				sn.Right = int(f.right[p] - base)
+			}
+			st.Nodes = append(st.Nodes, sn)
+		}
 		out.Trees = append(out.Trees, st)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
 }
 
-// Load deserializes a forest saved with Save. featureNames, when non-nil,
+// Load deserializes a forest saved with Save — by this version or any
+// earlier one; the wire format has not changed. featureNames, when non-nil,
 // must match the names recorded at save time — applying a model to a
 // different featurization silently produces garbage, so it is an error.
+//
+// Decoding goes through pointer nodes (the natural shape for validating
+// arbitrary child indices) and then packs them into the SoA layout with
+// fromTrees.
 func Load(r io.Reader, featureNames []string) (*Forest, error) {
 	var in savedForest
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
@@ -87,7 +103,7 @@ func Load(r io.Reader, featureNames []string) (*Forest, error) {
 			}
 		}
 	}
-	f := &Forest{cfg: in.Config}
+	trees := make([]*tree.Tree, 0, len(in.Trees))
 	for ti, st := range in.Trees {
 		if len(st.Nodes) == 0 {
 			return nil, fmt.Errorf("forest: tree %d is empty", ti)
@@ -102,19 +118,22 @@ func Load(r io.Reader, featureNames []string) (*Forest, error) {
 				Neg:       sn.Neg,
 			}
 		}
+		// A child index must point forward in the array: Save emits
+		// pre-order, where children always follow their parent. This also
+		// rules out cycles and shared subtrees, which the flattener below
+		// would otherwise chase forever or duplicate.
 		for i, sn := range st.Nodes {
 			if sn.Feature < 0 {
 				continue // leaf
 			}
-			if sn.Left < 0 || sn.Left >= len(nodes) ||
-				sn.Right < 0 || sn.Right >= len(nodes) ||
-				sn.Left == i || sn.Right == i {
+			if sn.Left <= i || sn.Left >= len(nodes) ||
+				sn.Right <= i || sn.Right >= len(nodes) {
 				return nil, fmt.Errorf("forest: tree %d node %d has invalid children", ti, i)
 			}
 			nodes[i].Left = nodes[sn.Left]
 			nodes[i].Right = nodes[sn.Right]
 		}
-		f.Trees = append(f.Trees, &tree.Tree{Root: nodes[0]})
+		trees = append(trees, &tree.Tree{Root: nodes[0]})
 	}
-	return f, nil
+	return fromTrees(trees, in.Config), nil
 }

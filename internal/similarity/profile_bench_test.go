@@ -41,17 +41,30 @@ func BenchmarkCosineProfile(b *testing.B) {
 	}
 }
 
-// BenchmarkEditSimString measures the string path: rune decode plus a fresh
-// DP row allocation per call.
+// BenchmarkEditSimString measures the retained pre-Myers reference path —
+// per-call rune decode plus the classic two-row DP with fresh row
+// allocations — the same baseline role BenchmarkTrainSerial plays for
+// forest training. The shipping string path (EditSim) now runs the Myers
+// core too; benchmark it via BenchmarkEditSimStringMyers.
 func BenchmarkEditSimString(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkF = editSimTwoRow(benchDocs[i%len(benchDocs)], benchDocs[(i+3)%len(benchDocs)])
+	}
+}
+
+// BenchmarkEditSimStringMyers measures the shipping string path: per-call
+// rune decode feeding the bit-parallel core.
+func BenchmarkEditSimStringMyers(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sinkF = EditSim(benchDocs[i%len(benchDocs)], benchDocs[(i+3)%len(benchDocs)])
 	}
 }
 
-// BenchmarkEditSimProfile measures the profile path: predecoded runes and a
-// reused scratch row.
+// BenchmarkEditSimProfile measures the profile path: predecoded runes and
+// scratch-reused pattern tables through the Myers core — zero-alloc steady
+// state.
 func BenchmarkEditSimProfile(b *testing.B) {
 	profs := make([]*Profile, len(benchDocs))
 	for i, d := range benchDocs {

@@ -1,0 +1,71 @@
+package similarity
+
+// Retained dynamic-programming references for the Myers bit-parallel edit
+// distance (myers.go). levenshteinTwoRowRunes is, verbatim, the two-row DP
+// core that shipped before the Myers rewrite — trimming included — and
+// editSimTwoRow the EditSim string path built on it. They are not called
+// from production code; the equivalence tests, the differential fuzz
+// target, and the bench harness's edit_similarity baseline
+// (BenchmarkEditSimString) run through them so the optimized path stays
+// pinned bit-identical to the classic algorithm it replaced.
+
+// levenshteinTwoRowRunes computes the unit-cost edit distance with the
+// classic two-row DP over runes, after prefix/suffix trimming and the
+// one-empty-side early exit — the exact pre-Myers hot path. s supplies the
+// two DP rows (nil allocates).
+func levenshteinTwoRowRunes(ra, rb []rune, s *Scratch) int {
+	for len(ra) > 0 && len(rb) > 0 && ra[0] == rb[0] {
+		ra, rb = ra[1:], rb[1:]
+	}
+	for len(ra) > 0 && len(rb) > 0 && ra[len(ra)-1] == rb[len(rb)-1] {
+		ra, rb = ra[:len(ra)-1], rb[:len(rb)-1]
+	}
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev, cur := s.intRows(len(rb) + 1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// editSimTwoRow is the retained pre-Myers EditSim string path: per-call
+// rune decode plus the two-row DP. The bench harness measures it as the
+// edit_similarity baseline.
+func editSimTwoRow(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(levenshteinTwoRowRunes(ra, rb, nil))/float64(m)
+}

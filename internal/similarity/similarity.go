@@ -21,15 +21,19 @@ func Levenshtein(a, b string) int {
 
 // levenshteinRunes is the shared core of Levenshtein; both the string path
 // and the profile fast path run through it, so the two are identical by
-// construction. s supplies the two DP rows (nil allocates).
+// construction.
 //
 // A shared prefix or suffix never contributes to the unit-cost distance
 // (any optimal alignment of the remainder extends to one of the whole at
-// the same cost), so both are trimmed before the DP. When one trimmed side
-// is empty the distance is exactly the remaining length — the tight case
-// of the |len(a) − len(b)| lower bound — and the quadratic DP is skipped
-// entirely. Near-duplicate attribute values, the common case under
-// blocking, resolve in O(len) this way.
+// the same cost), so both are trimmed first. When one trimmed side is
+// empty the distance is exactly the remaining length — the tight case of
+// the |len(a) − len(b)| lower bound — and no matching runs at all.
+// Near-duplicate attribute values, the common case under blocking, resolve
+// in O(len) this way. What remains runs through Myers' bit-parallel
+// algorithm (myers.go) with the shorter side as the pattern: one 64-bit
+// word per ≤64-rune column instead of the classic quadratic DP, which is
+// retained as levenshteinTwoRowRunes (reference.go) and pinned equal by
+// the equivalence tests and the differential fuzz target.
 func levenshteinRunes(ra, rb []rune, s *Scratch) int {
 	for len(ra) > 0 && len(rb) > 0 && ra[0] == rb[0] {
 		ra, rb = ra[1:], rb[1:]
@@ -43,32 +47,13 @@ func levenshteinRunes(ra, rb []rune, s *Scratch) int {
 	if len(rb) == 0 {
 		return len(ra)
 	}
-	prev, cur := s.intRows(len(rb) + 1)
-	for j := range prev {
-		prev[j] = j
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
 	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
+	if len(ra) <= 64 {
+		return myersSingle(ra, rb, s)
 	}
-	return prev[len(rb)]
-}
-
-func min3(a, b, c int) int {
-	if b < a {
-		a = b
-	}
-	if c < a {
-		a = c
-	}
-	return a
+	return myersBlocks(ra, rb, s)
 }
 
 // EditSim converts Levenshtein distance to a similarity:

@@ -168,10 +168,22 @@ func SampleIndices(rng *rand.Rand, n, k int) []int {
 	if n <= 0 || k <= 0 {
 		return nil
 	}
+	return SampleIndicesInto(rng, n, k, make([]int, n))
+}
+
+// SampleIndicesInto is SampleIndices with a caller-provided buffer of
+// capacity >= n, for hot paths (forest training draws a bootstrap per tree)
+// that would otherwise allocate a fresh n-slot buffer each call. The RNG
+// draw sequence and the result are identical to SampleIndices; the returned
+// slice aliases buf.
+func SampleIndicesInto(rng *rand.Rand, n, k int, buf []int) []int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
 	if k > n {
 		k = n
 	}
-	idx := make([]int, n)
+	idx := buf[:n]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -189,6 +201,38 @@ func SampleIndices(rng *rand.Rand, n, k int) []int {
 // the pool is smaller than k (§5.2 needs q examples even if fewer than q
 // have positive entropy).
 func WeightedSampleWithoutReplacement(rng *rand.Rand, weights []float64, k int) []int {
+	var ws WeightedSampler
+	return ws.Sample(rng, weights, k)
+}
+
+type weightedKey struct {
+	key float64
+	idx int
+}
+
+// weightedKeys sorts descending by key. Keys are continuous random draws,
+// so ties have probability zero and the sorted order — hence the sample —
+// is the same whatever sort runs underneath. The pointer receiver keeps
+// the sort.Sort interface conversion allocation-free.
+type weightedKeys []weightedKey
+
+func (s *weightedKeys) Len() int           { return len(*s) }
+func (s *weightedKeys) Less(i, j int) bool { return (*s)[i].key > (*s)[j].key }
+func (s *weightedKeys) Swap(i, j int)      { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
+
+// WeightedSampler is a reusable workspace for WeightedSampleWithoutReplacement:
+// the key and output buffers grow once and are retained, so steady-state
+// sampling — active learning draws a batch from the ranked pool every
+// iteration — allocates nothing. The zero value is ready to use; results
+// alias the sampler's buffers and are valid until the next Sample call.
+type WeightedSampler struct {
+	keys weightedKeys
+	out  []int
+}
+
+// Sample draws k distinct indices exactly as WeightedSampleWithoutReplacement
+// does — same RNG consumption, same result — into the sampler's buffers.
+func (ws *WeightedSampler) Sample(rng *rand.Rand, weights []float64, k int) []int {
 	n := len(weights)
 	if n == 0 || k <= 0 {
 		return nil
@@ -196,21 +240,26 @@ func WeightedSampleWithoutReplacement(rng *rand.Rand, weights []float64, k int) 
 	if k > n {
 		k = n
 	}
-	type keyed struct {
-		key float64
-		idx int
+	if cap(ws.keys) < n {
+		ws.keys = make(weightedKeys, n)
 	}
-	keys := make([]keyed, n)
+	ws.keys = ws.keys[:n]
 	for i, w := range weights {
 		if w <= 0 {
 			w = 1e-12
 		}
 		// key = U^(1/w); larger keys win. Use log for numeric stability:
 		// log key = log(U)/w.
-		keys[i] = keyed{key: math.Log(rng.Float64()) / w, idx: i}
+		ws.keys[i] = weightedKey{key: math.Log(rng.Float64()) / w, idx: i}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].key > keys[j].key })
-	out := make([]int, k)
+	// Sorting ws.keys through its own field keeps the sort.Interface
+	// conversion from forcing a per-call escape of a local header.
+	sort.Sort(&ws.keys)
+	keys := ws.keys
+	if cap(ws.out) < k {
+		ws.out = make([]int, k)
+	}
+	out := ws.out[:k]
 	for i := 0; i < k; i++ {
 		out[i] = keys[i].idx
 	}

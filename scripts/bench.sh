@@ -10,7 +10,12 @@
 #   scripts/bench.sh smoke        # -benchtime=1x smoke mode for CI (seconds)
 #   BENCH_OUT=out.json scripts/bench.sh
 #
-# The output (default BENCH_PR6.json) has these sections:
+# In full mode the run also enforces speedup floors (see check_floor at
+# the bottom): recorded BENCH_PR7 values minus a noise tolerance, so a
+# regression in the scoring-core hot paths fails the bench job instead of
+# silently shipping.
+#
+# The output (default BENCH_PR7.json) has these sections:
 #   mode        "smoke" or "full" — smoke numbers are single-iteration and
 #               only prove the harness runs; compare speedups in full mode
 #   gomaxprocs/num_cpu  the parallelism the run actually had. Parallel-vs-
@@ -32,7 +37,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
-OUT="${BENCH_OUT:-BENCH_PR6.json}"
+OUT="${BENCH_OUT:-BENCH_PR7.json}"
 NCPU="$(nproc 2>/dev/null || echo 1)"
 
 case "$MODE" in
@@ -55,7 +60,7 @@ run() { # run <package> <bench regexp> [extra go-test flags...]
 	go test -run '^$' -bench "$re" -benchmem $BENCHTIME "$@" "$pkg" | tee -a "$RAW" >&2
 }
 
-run ./internal/similarity/ 'BenchmarkCosine(String|Profile)$|BenchmarkEditSim(String|Profile)$'
+run ./internal/similarity/ 'BenchmarkCosine(String|Profile)$|BenchmarkEditSim(String|StringMyers|Profile)$'
 run ./internal/feature/ 'BenchmarkVectors(String)?$|BenchmarkNewExtractor$'
 run ./internal/blocker/ 'BenchmarkApplyRules(String|Indexed|IndexedSelective)?$|BenchmarkUmbrella(Materialized|Streaming)$'
 # Sharded blocking: K=1 single index vs K=4 under a 1/2/4/8-worker sweep.
@@ -67,7 +72,8 @@ run ./internal/blocker/ 'BenchmarkShardedBlocking(K1|W1|W2|W4|W8)$'
 # (PR2 recorded 0.98x here — an artifact of benchmarking on a 1-core box).
 # On a 1-core box the two -cpu values would coincide; run once.
 if [ "$NCPU" -gt 1 ]; then CPUSPEC="1,$NCPU"; else CPUSPEC="1"; fi
-run ./internal/forest/ 'BenchmarkTrain(Serial)?$|BenchmarkMeanConfidence$' -cpu "$CPUSPEC"
+run ./internal/forest/ 'BenchmarkTrain(Serial)?$|BenchmarkMeanConfidence$|BenchmarkScore(PerVector|Batched)$' -cpu "$CPUSPEC"
+run ./internal/active/ 'BenchmarkSelectBatch$'
 run . 'BenchmarkFeatureVector$|BenchmarkForestTrain$|BenchmarkBlockingThroughput$'
 
 # Turn `go test -bench` output into JSON. Benchmark lines look like:
@@ -135,11 +141,13 @@ END {
 	m = 0
 	if ((s = speedup("tfidf_cosine", "BenchmarkCosineString", "BenchmarkCosineProfile")) != "") sp[++m] = s
 	if ((s = speedup("edit_similarity", "BenchmarkEditSimString", "BenchmarkEditSimProfile")) != "") sp[++m] = s
+	if ((s = speedup("edit_similarity_string", "BenchmarkEditSimString", "BenchmarkEditSimStringMyers")) != "") sp[++m] = s
 	if ((s = speedup("extractor_vectors", "BenchmarkVectorsString", "BenchmarkVectors")) != "") sp[++m] = s
 	if ((s = speedup("blocking_scan", "BenchmarkApplyRulesString", "BenchmarkApplyRules")) != "") sp[++m] = s
 	if ((s = speedup("blocking_indexed", "BenchmarkApplyRules", "BenchmarkApplyRulesIndexedSelective")) != "") sp[++m] = s
 	if ((s = speedup("blocking_indexed_loose", "BenchmarkApplyRules", "BenchmarkApplyRulesIndexed")) != "") sp[++m] = s
 	if ((s = speedup("forest_train", "BenchmarkTrainSerial", "BenchmarkTrain")) != "") sp[++m] = s
+	if ((s = speedup("forest_score", "BenchmarkScorePerVector", "BenchmarkScoreBatched")) != "") sp[++m] = s
 	for (i = 1; i <= m; i++) printf "%s%s\n", sp[i], (i < m ? "," : "")
 	printf "  ],\n  \"memory\": [\n"
 	m = 0
@@ -157,3 +165,37 @@ END {
 ' "$RAW" >"$OUT"
 
 echo "wrote $OUT" >&2
+
+# Speedup floors, full mode only: each floor is the recorded BENCH_PR7
+# full-mode value minus a generous noise tolerance (the bench box shows
+# ±15-30% run-to-run variance from virtualization steal time), so only a
+# real regression trips it, not a slow run. forest_train's floor sits at
+# ~1x because the recording box had one CPU — the deterministic parallel
+# path runs inline there (the PR 6-documented caveat); read the speedup
+# alongside num_cpu. smoke mode runs one iteration per benchmark and
+# proves only that the harness runs, so floors are not enforced there.
+check_floor() { # check_floor <speedup name> <floor>
+	v="$(awk -F'"speedup":' -v n="$1" '$0 ~ "\"name\":\"" n "\"" { split($2, a, "}"); print a[1]; exit }' "$OUT")"
+	if [ -z "$v" ]; then
+		echo "bench floor: speedup \"$1\" missing from $OUT" >&2
+		FLOOR_FAIL=1
+		return
+	fi
+	if awk -v v="$v" -v f="$2" 'BEGIN { exit !(v + 0 < f + 0) }'; then
+		echo "bench floor: $1 speedup ${v}x is below floor ${2}x" >&2
+		FLOOR_FAIL=1
+	else
+		echo "bench floor: $1 ${v}x >= ${2}x ok" >&2
+	fi
+}
+
+if [ "$MODE" = "full" ]; then
+	FLOOR_FAIL=0
+	check_floor edit_similarity 10.0
+	check_floor forest_train 0.80
+	check_floor forest_score 1.40
+	if [ "$FLOOR_FAIL" -ne 0 ]; then
+		echo "bench floors violated; see above" >&2
+		exit 1
+	fi
+fi
