@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint verify bench bench-smoke chaos
+.PHONY: build test lint verify bench bench-smoke chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -40,13 +40,24 @@ shard:
 	$(GO) test -race -count=1 -run 'TestManagerRemoteShardExecution|TestHealthzAndMetrics' ./internal/runsvc
 	$(GO) test -race -count=1 -v -run 'TestShardWorkerChaos' ./internal/faultkit
 
-# Hot-path benchmarks -> BENCH_PR7.json (ns/op, allocs, speedup pairs,
+# Wire-format fuzz smoke: the differential pair-codec target (binary vs
+# JSON round trip, plus decoder totality over arbitrary bytes) and the
+# K-way merge vs its reference. `go test -fuzz` accepts one target per
+# invocation, hence two runs. Also part of `make verify` and CI.
+fuzz:
+	$(GO) test -count=1 -run '^$$' -fuzz 'FuzzPairCodec' -fuzztime 10s ./internal/shard
+	$(GO) test -count=1 -run '^$$' -fuzz 'FuzzMergePairs' -fuzztime 10s ./internal/shard
+
+# Hot-path benchmarks -> BENCH_PR8.json (ns/op, allocs, speedup pairs,
 # a memory section contrasting the streaming umbrella set with full
-# materialization, and the sharded-blocking worker sweep).
-# `bench` takes minutes, gives stable numbers, and enforces the scoring-core
-# speedup floors (edit_similarity, forest_score, forest_train) recorded in
-# BENCH_PR7.json; `bench-smoke` runs every benchmark once so CI can prove
-# the harness works in seconds, floors not enforced.
+# materialization, the sharded-blocking worker sweep, and the shard
+# transport section: PR 6 JSON-per-task wire protocol vs the binary
+# batched path).
+# `bench` takes minutes, gives stable numbers, and enforces the speedup
+# floors (edit_similarity, forest_score, forest_train, plus the PR 8
+# shard_probe_throughput and shard_wire_bytes transport floors) recorded
+# in BENCH_PR8.json; `bench-smoke` runs every benchmark once so CI can
+# prove the harness works in seconds, floors not enforced.
 bench:
 	sh scripts/bench.sh full
 

@@ -13,9 +13,13 @@
 // API:
 //
 //	GET  /healthz     liveness probe
-//	GET  /metrics     worker counters (jobs loaded, probes served)
+//	GET  /metrics     worker counters (jobs loaded, probes, batches)
 //	POST /shard/load  make a job spec probeable (idempotent)
-//	POST /shard/probe one shard task; 412 until the job is loaded
+//	POST /shard/probe one shard task or a [task, ...] batch; 412 until the
+//	                  job is loaded. Responses are content-negotiated: the
+//	                  compact binary pair codec (or a length-prefixed frame
+//	                  stream for batches) when the client Accepts it, the
+//	                  JSON envelope otherwise.
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 package main

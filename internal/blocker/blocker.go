@@ -55,9 +55,14 @@ type Config struct {
 	// Job names the job in shard tasks (remote workers key their loaded
 	// state on it); empty defaults to the dataset name.
 	Job string
-	// ShardStats, when non-nil, accumulates shard dispatch/retry counts
-	// (runsvc's /metrics reads them live).
+	// ShardStats, when non-nil, accumulates shard dispatch/retry counts and
+	// transport byte totals (runsvc's /metrics reads them live).
 	ShardStats *shard.Stats
+	// ShardBatch caps how many consecutive tasks one coordinator worker
+	// claims per iteration when Exec supports batched probes (<=0 picks a
+	// remote default; ignored for in-process execution). Output is
+	// bit-identical at every setting.
+	ShardBatch int
 }
 
 // Defaults returns the paper's configuration.
@@ -204,6 +209,7 @@ func Run(ds *record.Dataset, ex *feature.Extractor, runner *crowd.Runner, cfg Co
 	ec := execConfig{
 		shards:  cfg.Shards,
 		workers: cfg.ShardWorkers,
+		batch:   cfg.ShardBatch,
 		exec:    cfg.Exec,
 		job:     cfg.Job,
 		stats:   cfg.ShardStats,

@@ -94,6 +94,7 @@ func newVerifier(ex *feature.Extractor, rules []tree.Rule) *shard.Verifier {
 type execConfig struct {
 	shards  int
 	workers int
+	batch   int
 	exec    shard.Executor
 	job     string
 	stats   *shard.Stats
@@ -268,20 +269,36 @@ func applyRulesShardedTo(ds *record.Dataset, ex *feature.Extractor, rules []tree
 		k = 1
 	}
 	exec := ec.exec
-	c := &shard.Coordinator{Workers: ec.workers, Stats: ec.stats}
+	c := &shard.Coordinator{Workers: ec.workers, Stats: ec.stats, Batch: ec.batch}
 	if exec == nil {
 		profA, profB := ex.Profiles(p.feature)
-		exec = shard.NewLocalExecutor(ex, shard.BuildGroup(p.kind, profB, k), profA, rules)
+		exec = shard.NewLocalExecutor(ex, shard.BuildGroup(p.kind, profB, k), profA, rules, p.theta)
 	} else {
 		// Remote attempts pace retries so a restarting worker process gets
 		// a window to come back before its breaker trips again.
 		c.Backoff = 50 * time.Millisecond
+		if c.Batch <= 0 {
+			// Batched pipelined probes are the remote path's default: one
+			// round trip per run of same-shard tasks instead of one per
+			// task. Local execution pays no per-task transport, so it keeps
+			// single-task claims.
+			c.Batch = 16 * k
+		}
 	}
 	job := ec.job
 	if job == "" {
 		job = ds.Name
 	}
-	tasks := shard.BlockTasks(job, na, k, p.feature, p.theta, rules)
+	// Bind the per-job constants to executors that need them before tasks
+	// flow: the remote executor stamps them into its /shard/load spec (and
+	// wires the byte counters), keeping every probe request lean.
+	if jb, ok := exec.(shard.JobBinder); ok {
+		jb.BindJob(shard.JobParams{
+			Job: job, Shards: k, Feature: p.feature, Theta: p.theta,
+			Rules: rules, Stats: ec.stats,
+		})
+	}
+	tasks := shard.BlockTasks(job, na, k)
 
 	// Results arrive in Seq order: the k per-shard lists of each probe
 	// block are consecutive. Collect k, merge by (a, b), emit. The emit

@@ -52,7 +52,7 @@ func TestScale1MSharded(t *testing.T) {
 	}
 
 	profA, _ := ex.Profiles(p.feature)
-	exec := shard.NewLocalExecutor(ex, group, profA, rules)
+	exec := shard.NewLocalExecutor(ex, group, profA, rules, p.theta)
 	survivors := 0
 	err = applyRulesShardedTo(ds, ex, rules, p, k,
 		execConfig{workers: 4, exec: exec},

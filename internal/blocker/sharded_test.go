@@ -2,6 +2,7 @@ package blocker
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 	"time"
@@ -75,6 +76,74 @@ func TestShardedBlockingEquivalence(t *testing.T) {
 	}
 }
 
+// TestShardedRemoteTransportEquivalence extends the tentpole invariant
+// over the wire-protocol axes: against real shard-worker HTTP servers, the
+// emitted stream stays byte-identical across codec (binary vs. forced
+// JSON), batch size (singleton, small, default), K, and worker count —
+// and the binary codec moves strictly fewer response bytes than JSON for
+// the identical task plan.
+func TestShardedRemoteTransportEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remote transport matrix in -short mode")
+	}
+	const scale = 0.01
+	ds := datagen.Generate(datagen.Scaled(datagen.CitationsPaper, scale))
+	ex := feature.NewExtractor(ds)
+	jw := featureByKind(ex, "jaccard_w")
+	rules := []tree.Rule{le(jw, 0.3)}
+	want := applyRulesRef(ds, ex, rules)
+	p := planRules(ex, rules)
+	if !p.indexed {
+		t.Fatal("rule should anchor an index")
+	}
+
+	w1, w2 := shard.NewWorker(), shard.NewWorker()
+	srv1 := httptest.NewServer(w1.Handler())
+	defer srv1.Close()
+	srv2 := httptest.NewServer(w2.Handler())
+	defer srv2.Close()
+	endpoints := []string{srv1.URL, srv2.URL}
+	spec := shard.JobSpec{Dataset: "citations", Scale: scale}
+
+	received := map[bool]int64{} // forceJSON -> response bytes at batch=4, k=2
+	run := 0
+	for _, k := range []int{2, 3} {
+		for _, batch := range []int{1, 4, 0} {
+			for _, forceJSON := range []bool{false, true} {
+				run++
+				exec := shard.NewRemoteExecutor(endpoints, spec, nil)
+				exec.ForceJSON = forceJSON
+				var stats shard.Stats
+				var got []record.Pair
+				err := applyRulesShardedTo(ds, ex, rules, p, k, execConfig{
+					workers: 2, batch: batch, exec: exec,
+					job:   fmt.Sprintf("transport-eq-%d", run),
+					stats: &stats,
+				}, collectSink(&got))
+				name := fmt.Sprintf("k=%d/batch=%d/json=%v", k, batch, forceJSON)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				samePairs(t, name, got, want)
+				if stats.Retried.Load() != 0 {
+					t.Errorf("%s: %d retries against healthy workers", name, stats.Retried.Load())
+				}
+				if stats.BytesSent.Load() == 0 || stats.BytesReceived.Load() == 0 {
+					t.Errorf("%s: transport byte counters empty (sent %d, received %d)",
+						name, stats.BytesSent.Load(), stats.BytesReceived.Load())
+				}
+				if k == 2 && batch == 4 {
+					received[forceJSON] = stats.BytesReceived.Load()
+				}
+			}
+		}
+	}
+	if received[false] >= received[true] {
+		t.Errorf("binary codec received %d bytes, JSON %d — binary should be strictly smaller",
+			received[false], received[true])
+	}
+}
+
 // delayExecutor wraps an executor with a Seq-scrambled sleep so task
 // completion order is adversarial while remaining deterministic.
 type delayExecutor struct{ inner shard.Executor }
@@ -103,7 +172,7 @@ func TestShardedMergeDeterminism(t *testing.T) {
 	profA, profB := ex.Profiles(p.feature)
 	group := shard.BuildGroup(p.kind, profB, k)
 	for trial := 0; trial < 3; trial++ {
-		exec := delayExecutor{inner: shard.NewLocalExecutor(ex, group, profA, rules)}
+		exec := delayExecutor{inner: shard.NewLocalExecutor(ex, group, profA, rules, p.theta)}
 		var got []record.Pair
 		err := applyRulesShardedTo(ds, ex, rules, p, k,
 			execConfig{workers: 4, exec: exec}, collectSink(&got))

@@ -31,10 +31,13 @@ func shardChaosMeta() runsvc.Meta {
 
 // runSharded runs one Meta job through a manager — remotely when
 // endpoints are given, in-process otherwise — and returns the result plus
-// the manager's final metrics.
-func runSharded(t *testing.T, meta runsvc.Meta, endpoints []string) (*engine.Result, runsvc.Metrics) {
+// the manager's final metrics. batch pins the coordinator's claim size on
+// the remote path: 1 forces one round trip per task (the deterministic
+// request counts the fault schedules below assume), 0 takes the batched
+// default.
+func runSharded(t *testing.T, meta runsvc.Meta, endpoints []string, batch int) (*engine.Result, runsvc.Metrics) {
 	t.Helper()
-	m, err := runsvc.NewManager(runsvc.Options{Workers: 1, ShardEndpoints: endpoints})
+	m, err := runsvc.NewManager(runsvc.Options{Workers: 1, ShardEndpoints: endpoints, ShardBatch: batch})
 	if err != nil {
 		t.Fatalf("NewManager: %v", err)
 	}
@@ -124,7 +127,7 @@ func TestShardWorkerChaos(t *testing.T) {
 		t.Skip("shard chaos suite in -short mode")
 	}
 	meta := shardChaosMeta()
-	base, baseMetrics := runSharded(t, meta, nil)
+	base, baseMetrics := runSharded(t, meta, nil, 0)
 	if baseMetrics.ShardTasksDispatched == 0 {
 		t.Fatal("baseline never dispatched a shard task; the sharded strategy did not run")
 	}
@@ -144,7 +147,7 @@ func TestShardWorkerChaos(t *testing.T) {
 		srv1 := httptest.NewServer(slow.Handler(w1.Handler()))
 		defer srv1.Close()
 
-		res, mm := runSharded(t, meta, []string{srv0.URL, srv1.URL})
+		res, mm := runSharded(t, meta, []string{srv0.URL, srv1.URL}, 1)
 		assertShardResult(t, res, base)
 		if got := bad.Injected(); got != 2 {
 			t.Errorf("5xx schedule injected %d faults, want exactly its limit of 2", got)
@@ -170,7 +173,7 @@ func TestShardWorkerChaos(t *testing.T) {
 		srv1 := httptest.NewServer(w1.Handler())
 		defer srv1.Close()
 
-		res, mm := runSharded(t, meta, []string{srv0.URL, srv1.URL})
+		res, mm := runSharded(t, meta, []string{srv0.URL, srv1.URL}, 1)
 		assertShardResult(t, res, base)
 		gens := rw.generations()
 		if len(gens) != 2 {
@@ -192,4 +195,100 @@ func TestShardWorkerChaos(t *testing.T) {
 				mm.ShardTasksDispatched, baseMetrics.ShardTasksDispatched)
 		}
 	})
+
+	// Batched transport under fire: worker 0 dies mid-way through streaming
+	// a batch response — some per-task frames flushed, the rest lost with
+	// the connection. The executor must keep the delivered prefix (no
+	// completed task is re-paid: dispatched stays at the baseline count) and
+	// re-run only the undelivered tail at single-task granularity, where
+	// failover routes it to worker 1. Runs at the default batch size — the
+	// production wire path.
+	t.Run("mid-batch-stream-kill", func(t *testing.T) {
+		mk := newMidStreamKiller(shard.NewWorker().Handler(), 2)
+		srv0 := httptest.NewServer(mk)
+		defer srv0.Close()
+		w1 := shard.NewWorker()
+		srv1 := httptest.NewServer(w1.Handler())
+		defer srv1.Close()
+
+		res, mm := runSharded(t, meta, []string{srv0.URL, srv1.URL}, 0)
+		assertShardResult(t, res, base)
+		if mk.kills() != 1 {
+			t.Errorf("kill schedule fired %d times, want exactly 1", mk.kills())
+		}
+		if mm.ShardTasksRetried == 0 {
+			t.Error("a torn batch retried nothing — the lost tail was never re-run")
+		}
+		if mm.ShardTasksDispatched != baseMetrics.ShardTasksDispatched {
+			t.Errorf("dispatched %d tasks, baseline dispatched %d — a torn batch must not re-pay completed work",
+				mm.ShardTasksDispatched, baseMetrics.ShardTasksDispatched)
+		}
+		if mm.ShardBytesSent == 0 || mm.ShardBytesReceived == 0 {
+			t.Errorf("transport byte accounting empty: sent %d, received %d",
+				mm.ShardBytesSent, mm.ShardBytesReceived)
+		}
+	})
+}
+
+// midStreamKiller severs the first batched /shard/probe response after a
+// fixed number of per-task frames have flushed — the connection dies with
+// frames on the wire, exactly like a worker process killed mid-stream.
+// Single-task probes never flush per frame, so only a batch can trip it;
+// it fires once and serves cleanly afterwards.
+type midStreamKiller struct {
+	inner       http.Handler
+	afterFrames int
+
+	mu     sync.Mutex
+	fired  bool
+	nkills int
+}
+
+func newMidStreamKiller(inner http.Handler, afterFrames int) *midStreamKiller {
+	return &midStreamKiller{inner: inner, afterFrames: afterFrames}
+}
+
+func (k *midStreamKiller) kills() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.nkills
+}
+
+func (k *midStreamKiller) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	k.mu.Lock()
+	armed := !k.fired && req.URL.Path == "/shard/probe"
+	k.mu.Unlock()
+	if !armed {
+		k.inner.ServeHTTP(rw, req)
+		return
+	}
+	k.inner.ServeHTTP(&killingWriter{ResponseWriter: rw, killer: k}, req)
+}
+
+// killingWriter counts the worker's per-frame flushes and aborts the
+// handler once the threshold is reached; net/http tears the connection
+// down without a graceful close, so the client sees a truncated stream.
+type killingWriter struct {
+	http.ResponseWriter
+	killer  *midStreamKiller
+	flushes int
+}
+
+func (w *killingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	w.flushes++
+	if w.flushes < w.killer.afterFrames {
+		return
+	}
+	w.killer.mu.Lock()
+	if w.killer.fired {
+		w.killer.mu.Unlock()
+		return
+	}
+	w.killer.fired = true
+	w.killer.nkills++
+	w.killer.mu.Unlock()
+	panic(http.ErrAbortHandler)
 }

@@ -103,6 +103,11 @@ func DefaultConfig() *Config {
 		DurabilityPkgSubstrings: []string{
 			"internal/runsvc",
 			"internal/crowd",
+			// The shard transport is not a journal, but the same failure
+			// class applies: a dropped write/close error on the probe data
+			// plane hides a torn stream. Discards there must carry a
+			// reasoned allow, like every other audited cleanup path.
+			"internal/shard",
 		},
 		FloatCmpApproved: map[string]bool{
 			// exactEq is the audited helper for bitwise float equality;

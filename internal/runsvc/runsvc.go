@@ -54,6 +54,10 @@ type Options struct {
 	// processes) over the platform HTTP transport. Empty means shard tasks
 	// run in-process.
 	ShardEndpoints []string
+	// ShardBatch caps the coordinator's batched task claims on the remote
+	// path (0 = automatic; 1 = one round trip per task, the PR 6 wire
+	// behavior). Output is bit-identical at every setting.
+	ShardBatch int
 }
 
 // Manager runs Corleone jobs on a bounded executor pool, journaling each
@@ -72,9 +76,11 @@ type Manager struct {
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
-	// shardEndpoints is Options.ShardEndpoints; shardStats accumulates
-	// shard task dispatch/retry counts across all jobs for /metrics.
+	// shardEndpoints is Options.ShardEndpoints; shardBatch is
+	// Options.ShardBatch; shardStats accumulates shard task dispatch/retry
+	// counts and transport byte totals across all jobs for /metrics.
 	shardEndpoints []string
+	shardBatch     int
 	shardStats     shard.Stats
 
 	// testCrashAfterBatches, when positive, is copied into each job's
@@ -95,6 +101,7 @@ func NewManager(opts Options) (*Manager, error) {
 		queue:          make(chan *Job, opts.QueueDepth),
 		quit:           make(chan struct{}),
 		shardEndpoints: opts.ShardEndpoints,
+		shardBatch:     opts.ShardBatch,
 	}
 	if opts.JournalDir != "" {
 		store, err := NewStore(opts.JournalDir)
@@ -166,6 +173,10 @@ type Metrics struct {
 	// Shard task counters, accumulated across every job's blocking run.
 	ShardTasksDispatched int64 `json:"shard_tasks_dispatched"`
 	ShardTasksRetried    int64 `json:"shard_tasks_retried"`
+	// Shard transport payload bytes (HTTP bodies, not headers) across every
+	// job's remote blocking run; zero when execution stays in-process.
+	ShardBytesSent     int64 `json:"shard_bytes_sent"`
+	ShardBytesReceived int64 `json:"shard_bytes_received"`
 	// BytesJournaled counts bytes appended across all journal files (0
 	// when journaling is disabled).
 	BytesJournaled int64 `json:"bytes_journaled"`
@@ -192,6 +203,8 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Unlock()
 	out.ShardTasksDispatched = m.shardStats.Dispatched.Load()
 	out.ShardTasksRetried = m.shardStats.Retried.Load()
+	out.ShardBytesSent = m.shardStats.BytesSent.Load()
+	out.ShardBytesReceived = m.shardStats.BytesReceived.Load()
 	if m.store != nil {
 		out.BytesJournaled = m.store.BytesWritten()
 	}
@@ -461,6 +474,7 @@ func (m *Manager) execute(j *Job) {
 			Scale:   j.spec.Meta.Scale,
 			Noise:   j.spec.Meta.Noise,
 		}, nil)
+		cfg.Blocker.ShardBatch = m.shardBatch
 		if cfg.Blocker.ShardWorkers <= 0 {
 			cfg.Blocker.ShardWorkers = len(m.shardEndpoints)
 		}

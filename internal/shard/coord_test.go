@@ -120,6 +120,9 @@ func TestCoordinatorRetriesTransient(t *testing.T) {
 	if r := stats.Retried.Load(); r != int64(2*len(tasks)) {
 		t.Errorf("retried %d, want %d", r, 2*len(tasks))
 	}
+	if d := stats.Dispatched.Load(); d != int64(len(tasks)) {
+		t.Errorf("dispatched %d, want %d — retries must not inflate dispatch counts", d, len(tasks))
+	}
 }
 
 // TestCoordinatorTerminalError pins fail-fast semantics: a 4xx aborts the
@@ -170,8 +173,211 @@ func TestCoordinatorRunExhaustsAttempts(t *testing.T) {
 	}
 }
 
+// gatedExecutor marks each task started, then blocks it until its release
+// channel is closed — the instrument for observing exactly how far ahead
+// of the emission frontier the coordinator will claim.
+type gatedExecutor struct {
+	mu      sync.Mutex
+	started map[int64]chan struct{} // closed when the task may complete
+	starts  chan int64
+}
+
+func newGatedExecutor(n int) *gatedExecutor {
+	g := &gatedExecutor{started: make(map[int64]chan struct{}), starts: make(chan int64, n)}
+	return g
+}
+
+func (g *gatedExecutor) gate(seq int64) chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch, ok := g.started[seq]
+	if !ok {
+		ch = make(chan struct{})
+		g.started[seq] = ch
+	}
+	return ch
+}
+
+func (g *gatedExecutor) Probe(t Task, _ int) ([]record.Pair, error) {
+	ch := g.gate(t.Seq)
+	g.starts <- t.Seq
+	<-ch
+	return []record.Pair{{A: int32(t.Seq)}}, nil
+}
+
+// drainStarts collects task starts until none arrive for a settle period.
+func drainStarts(g *gatedExecutor) []int64 {
+	var got []int64
+	for {
+		select {
+		case s := <-g.starts:
+			got = append(got, s)
+		case <-time.After(150 * time.Millisecond):
+			return got
+		}
+	}
+}
+
+// TestCoordinatorBackpressure pins the reorder window's claim bound: with
+// every in-flight task blocked, claims stop at exactly Window tasks ahead
+// of the emission frontier, and releasing the frontier task admits exactly
+// one more claim.
+func TestCoordinatorBackpressure(t *testing.T) {
+	const n, window = 20, 4
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Seq: int64(i)}
+	}
+	g := newGatedExecutor(n)
+	c := &Coordinator{Workers: 8, Window: window}
+	done := make(chan error, 1)
+	emitted := make(chan int, n)
+	go func() {
+		done <- c.Run(tasks, g, func(i int, _ []record.Pair) { emitted <- i })
+	}()
+
+	started := drainStarts(g)
+	if len(started) != window {
+		t.Fatalf("%d tasks in flight with the frontier parked, want exactly Window=%d", len(started), window)
+	}
+	// Release the frontier task: emission advances by one, so exactly one
+	// more claim must unblock.
+	close(g.gate(0))
+	if i := <-emitted; i != 0 {
+		t.Fatalf("first emission was task %d, want 0", i)
+	}
+	more := drainStarts(g)
+	if len(more) != 1 {
+		t.Fatalf("frontier advanced by 1 but %d new tasks were claimed, want 1", len(more))
+	}
+	// Drain the rest.
+	for seq := int64(1); seq < n; seq++ {
+		close(g.gate(seq))
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// batchRecorder is a scripted BatchExecutor: it serves batches whole,
+// except that a batch containing tornAt delivers only the prefix before it
+// and reports a retryable failure. Single-task probes (the fallback path)
+// always succeed.
+type batchRecorder struct {
+	tornAt int64 // Seq of the first undelivered task; -1 = never tear
+
+	mu           sync.Mutex
+	batches      [][]int64
+	singles      []int64
+	singleAtmpts []int
+}
+
+func (b *batchRecorder) Probe(t Task, attempt int) ([]record.Pair, error) {
+	b.mu.Lock()
+	b.singles = append(b.singles, t.Seq)
+	b.singleAtmpts = append(b.singleAtmpts, attempt)
+	b.mu.Unlock()
+	return []record.Pair{{A: int32(t.Seq)}}, nil
+}
+
+func (b *batchRecorder) ProbeBatch(tasks []Task, _ int) ([][]record.Pair, error) {
+	seqs := make([]int64, len(tasks))
+	for i, t := range tasks {
+		seqs[i] = t.Seq
+	}
+	b.mu.Lock()
+	b.batches = append(b.batches, seqs)
+	b.mu.Unlock()
+	var out [][]record.Pair
+	for _, t := range tasks {
+		if t.Seq == b.tornAt {
+			return out, &httpStatusError{status: 503, msg: "killed mid-stream"}
+		}
+		out = append(out, []record.Pair{{A: int32(t.Seq)}})
+	}
+	return out, nil
+}
+
+// TestCoordinatorBatchClaiming pins the batched path: runs are claimed and
+// split into same-shard batches, emission order is unchanged, every task
+// is dispatched exactly once, and single-task Probe is never used.
+func TestCoordinatorBatchClaiming(t *testing.T) {
+	tasks := BlockTasks("j", 64*6, 2) // 6 blocks × 2 shards = 12 tasks
+	var stats Stats
+	b := &batchRecorder{tornAt: -1}
+	c := &Coordinator{Workers: 1, Batch: 6, Stats: &stats}
+	var got []int
+	if err := c.Run(tasks, b, func(i int, _ []record.Pair) { got = append(got, i) }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if i != v {
+			t.Fatalf("emission %d was task %d — batching broke ordering", i, v)
+		}
+	}
+	if len(b.singles) != 0 {
+		t.Errorf("%d single-task probes on a clean batched run, want 0", len(b.singles))
+	}
+	if d := stats.Dispatched.Load(); d != int64(len(tasks)) {
+		t.Errorf("dispatched %d, want %d", d, len(tasks))
+	}
+	if r := stats.Retried.Load(); r != 0 {
+		t.Errorf("retried %d, want 0", r)
+	}
+	for _, batch := range b.batches {
+		shard := batch[0] % 2
+		for _, seq := range batch {
+			if seq%2 != shard {
+				t.Fatalf("batch %v mixes shards — same-endpoint routing broken", batch)
+			}
+		}
+	}
+}
+
+// TestCoordinatorTornBatch pins torn-batch accounting: the delivered
+// prefix is kept (never re-dispatched), each undelivered task is re-run
+// exactly once as a single-task retry at attempt 1, and the output stream
+// is unchanged.
+func TestCoordinatorTornBatch(t *testing.T) {
+	tasks := BlockTasks("j", 64*8, 2) // 16 tasks
+	const torn = 6                    // tear shard-0's batch at Seq 6 (4th shard-0 task)
+	var stats Stats
+	b := &batchRecorder{tornAt: torn}
+	c := &Coordinator{Workers: 1, Batch: 16, Stats: &stats}
+	var got []int
+	if err := c.Run(tasks, b, func(i int, _ []record.Pair) { got = append(got, i) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tasks) {
+		t.Fatalf("emitted %d of %d", len(got), len(tasks))
+	}
+	for i, v := range got {
+		if i != v {
+			t.Fatalf("emission %d was task %d", i, v)
+		}
+	}
+	// The torn shard-0 batch delivered Seqs 0,2,4 then died; 6,8,10,12,14
+	// must re-run singly at attempt 1 — failover's attempt number — and
+	// count as retries.
+	wantSingles := []int64{6, 8, 10, 12, 14}
+	if fmt.Sprint(b.singles) != fmt.Sprint(wantSingles) {
+		t.Errorf("single re-runs %v, want %v", b.singles, wantSingles)
+	}
+	for i, a := range b.singleAtmpts {
+		if a != 1 {
+			t.Errorf("re-run %d used attempt %d, want 1 (the batch was attempt 0)", i, a)
+		}
+	}
+	if d := stats.Dispatched.Load(); d != int64(len(tasks)) {
+		t.Errorf("dispatched %d, want %d — a torn batch must not re-pay delivered work", d, len(tasks))
+	}
+	if r := stats.Retried.Load(); r != int64(len(wantSingles)) {
+		t.Errorf("retried %d, want %d", r, len(wantSingles))
+	}
+}
+
 func TestBlockTasksLayout(t *testing.T) {
-	tasks := BlockTasks("j", 150, 3, 2, 0.4, nil)
+	tasks := BlockTasks("j", 150, 3)
 	blocks := (150 + TaskBlockRows - 1) / TaskBlockRows
 	if len(tasks) != blocks*3 {
 		t.Fatalf("%d tasks, want %d", len(tasks), blocks*3)
@@ -183,7 +389,7 @@ func TestBlockTasksLayout(t *testing.T) {
 		if tk.Shard != i%3 {
 			t.Fatalf("task %d has shard %d, want %d (shard-minor layout)", i, tk.Shard, i%3)
 		}
-		if tk.Job != "j" || tk.Shards != 3 || tk.Feature != 2 || tk.Theta != 0.4 {
+		if tk.Job != "j" || tk.Shards != 3 {
 			t.Fatalf("task %d fields wrong: %+v", i, tk)
 		}
 	}
@@ -191,7 +397,7 @@ func TestBlockTasksLayout(t *testing.T) {
 	if last.AHi != 150 {
 		t.Fatalf("last task ends at %d, want 150", last.AHi)
 	}
-	if got := fmt.Sprint(BlockTasks("j", 0, 3, 0, 0, nil)); got != "[]" {
+	if got := fmt.Sprint(BlockTasks("j", 0, 3)); got != "[]" {
 		t.Fatalf("empty table should yield no tasks, got %s", got)
 	}
 }

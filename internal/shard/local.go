@@ -19,6 +19,7 @@ import (
 type LocalExecutor struct {
 	group *Group
 	profA []*similarity.Profile
+	theta float64
 	pool  sync.Pool
 }
 
@@ -30,12 +31,12 @@ type localState struct {
 }
 
 // NewLocalExecutor binds the executor to a shard group over table B's
-// anchor-feature profiles, the probe-side (table A) profiles, and the rule
-// set. Tasks carry Feature/Rules for the wire protocol; the local executor
-// trusts its construction-time bindings instead — they are the same values
-// by construction, without re-deriving per task.
-func NewLocalExecutor(ex *feature.Extractor, group *Group, profA []*similarity.Profile, rules []tree.Rule) *LocalExecutor {
-	e := &LocalExecutor{group: group, profA: profA}
+// anchor-feature profiles, the probe-side (table A) profiles, the rule
+// set, and the anchor probe threshold. The wire protocol moves the same
+// per-job constants through JobSpec; the local executor takes them at
+// construction instead — same values, no wire.
+func NewLocalExecutor(ex *feature.Extractor, group *Group, profA []*similarity.Profile, rules []tree.Rule, theta float64) *LocalExecutor {
+	e := &LocalExecutor{group: group, profA: profA, theta: theta}
 	e.pool.New = func() any {
 		return &localState{v: NewVerifier(ex, rules), is: simindex.NewScratch()}
 	}
@@ -49,7 +50,7 @@ func (e *LocalExecutor) Probe(t Task, _ int) ([]record.Pair, error) {
 	sh := e.group.Shard(t.Shard)
 	var out []record.Pair
 	for a := t.ALo; a < t.AHi; a++ {
-		st.cand = sh.Candidates(e.profA[a], t.Theta, st.is, st.cand[:0])
+		st.cand = sh.Candidates(e.profA[a], e.theta, st.is, st.cand[:0])
 		for _, b := range st.cand {
 			p := record.Pair{A: a, B: b}
 			if st.v.Survives(p) {

@@ -1,0 +1,152 @@
+package shard
+
+import "github.com/corleone-em/corleone/internal/record"
+
+// pairLess orders pairs (a, b)-lexicographically — the emission order
+// every candidate-generation strategy shares.
+func pairLess(x, y record.Pair) bool {
+	return x.A < y.A || (x.A == y.A && x.B < y.B)
+}
+
+// MergePairs merges k (a, b)-ascending pair lists into dst (cleared
+// first), preserving (a, b) order — the per-probe-block merge that
+// stitches the K shards' survivor lists back into the single-index
+// planner's emission order. Ties across lists (impossible for disjoint
+// shard output, but the contract is total) resolve to the lower list
+// index, matching mergePairsRef.
+//
+// The hot shapes get dedicated paths: K ≤ 2 covers the small shard counts
+// the planner picks automatically (a two-pointer merge with bulk tail
+// copies), and K > 2 runs a loser tree — one comparison per level per
+// emitted pair, O(log K) instead of the reference's O(K) head scan.
+func MergePairs(dst []record.Pair, lists [][]record.Pair) []record.Pair {
+	switch len(lists) {
+	case 0:
+		return dst[:0]
+	case 1:
+		return append(dst[:0], lists[0]...)
+	case 2:
+		return mergeTwo(dst[:0], lists[0], lists[1])
+	}
+	return mergeLoserTree(dst[:0], lists)
+}
+
+// mergeTwo is the two-list fast path: advance the smaller head, then bulk-
+// append whichever tail survives.
+func mergeTwo(dst []record.Pair, a, b []record.Pair) []record.Pair {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if pairLess(b[j], a[i]) {
+			dst = append(dst, b[j])
+			j++
+		} else {
+			dst = append(dst, a[i])
+			i++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// mergeLoserTree is the K>2 path: a tournament tree over the list heads.
+// Internal nodes hold the loser of their subtree's match; the overall
+// winner sits at the root. Emitting the winner and re-playing its leaf's
+// path to the root costs one comparison per level — log2(K) work per pair.
+// Exhausted lists compete as +infinity and sink out of the tree.
+func mergeLoserTree(dst []record.Pair, lists [][]record.Pair) []record.Pair {
+	k := len(lists)
+	n := 1
+	for n < k {
+		n <<= 1
+	}
+	heads := make([]int, k)
+	// beats reports whether list x's head should win against list y's:
+	// smaller head pair, exhausted lists losing to live ones, index
+	// breaking ties (and ordering exhausted lists arbitrarily).
+	beats := func(x, y int) bool {
+		xLive := x < k && heads[x] < len(lists[x])
+		yLive := y < k && heads[y] < len(lists[y])
+		switch {
+		case !yLive:
+			return true
+		case !xLive:
+			return false
+		}
+		px, py := lists[x][heads[x]], lists[y][heads[y]]
+		if pairLess(px, py) {
+			return true
+		}
+		if pairLess(py, px) {
+			return false
+		}
+		return x < y
+	}
+	// tree[1..n-1] hold losers; tree[0] holds the overall winner. Leaves
+	// are virtual: leaf i (list index i) sits below internal node (n+i)/2.
+	tree := make([]int, n)
+	for i := range tree {
+		tree[i] = -1
+	}
+	for i := n - 1; i >= 0; i-- {
+		// Play list i up the tree: at each filled node the stronger
+		// contender rises and the weaker stays as the recorded loser; an
+		// unfilled node parks the riser until its sibling's path arrives.
+		// After all n leaves are played every node holds a loser and the
+		// last unparked riser is the overall winner.
+		w := i
+		parked := false
+		for t := (n + i) / 2; t > 0; t /= 2 {
+			if tree[t] < 0 {
+				tree[t] = w
+				parked = true
+				break
+			}
+			if beats(tree[t], w) {
+				tree[t], w = w, tree[t]
+			}
+		}
+		if !parked {
+			tree[0] = w
+		}
+	}
+	for {
+		w := tree[0]
+		if w >= k || heads[w] >= len(lists[w]) {
+			return dst // the winner is exhausted: all lists are drained
+		}
+		dst = append(dst, lists[w][heads[w]])
+		heads[w]++
+		for t := (n + w) / 2; t > 0; t /= 2 {
+			if beats(tree[t], w) {
+				tree[t], w = w, tree[t]
+			}
+		}
+		tree[0] = w
+	}
+}
+
+// mergePairsRef is the retained PR 6 reference merge: an O(K) linear head
+// scan per emitted pair. It is the semantic oracle MergePairs is fuzzed
+// and unit-tested against — slow, but obviously correct.
+func mergePairsRef(dst []record.Pair, lists [][]record.Pair) []record.Pair {
+	dst = dst[:0]
+	heads := make([]int, len(lists))
+	for {
+		bestList := -1
+		var best record.Pair
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			v := l[heads[i]]
+			if bestList < 0 || v.A < best.A || (v.A == best.A && v.B < best.B) {
+				best, bestList = v, i
+			}
+		}
+		if bestList < 0 {
+			return dst
+		}
+		heads[bestList]++
+		dst = append(dst, best)
+	}
+}

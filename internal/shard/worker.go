@@ -1,10 +1,13 @@
 package shard
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -13,14 +16,19 @@ import (
 	"github.com/corleone-em/corleone/internal/record"
 	"github.com/corleone-em/corleone/internal/similarity"
 	"github.com/corleone-em/corleone/internal/simindex"
+	"github.com/corleone-em/corleone/internal/tree"
 )
 
 // JobSpec is everything a worker process needs to reconstruct a blocking
 // job's inputs from nothing: the deterministic dataset recipe plus the
-// anchor feature and shard count. Workers rebuild rather than receive the
-// data — same spec, any process, byte-identical dataset — which is what
-// makes a crash-restarted worker able to serve retried tasks correctly
-// with no state transfer.
+// anchor feature, shard count, probe threshold, and blocking rule set.
+// Workers rebuild rather than receive the data — same spec, any process,
+// byte-identical dataset — which is what makes a crash-restarted worker
+// able to serve retried tasks correctly with no state transfer.
+//
+// Rules and Theta live here, not on Task: they are per-job constants, and
+// hoisting them out of the ~(na/TaskBlockRows)×K probe requests is what
+// shrinks a probe to a few dozen wire bytes (the lean task format).
 type JobSpec struct {
 	// Job identifies the job; probes carry the same id.
 	Job string `json:"job"`
@@ -33,6 +41,20 @@ type JobSpec struct {
 	// index in the job's extractor.
 	Shards  int `json:"shards"`
 	Feature int `json:"feature"`
+	// Theta is the anchor feature's probe threshold; Rules the blocking
+	// rule set every candidate is verified against.
+	Theta float64     `json:"theta"`
+	Rules []tree.Rule `json:"rules"`
+}
+
+// specEqual reports whether two specs describe the same job. JobSpec holds
+// a rule slice, so it is not comparable with ==; the canonical JSON
+// encodings are compared instead — the same bytes a conflicting /shard/load
+// would have put on the wire.
+func specEqual(a, b JobSpec) bool {
+	ja, errA := json.Marshal(a)
+	jb, errB := json.Marshal(b)
+	return errA == nil && errB == nil && bytes.Equal(ja, jb)
 }
 
 // ErrUnknownJob is returned by Probe for a job id the worker has not
@@ -75,9 +97,11 @@ func (j *workerJob) shardIndex(s int) (*Index, error) {
 // WorkerStats counts a worker's activity; read by its /metrics endpoint.
 type WorkerStats struct {
 	// JobsLoaded counts /shard/load builds (idempotent re-loads excluded);
-	// Probes counts tasks served.
+	// Probes counts tasks served; Batches counts batched /shard/probe
+	// requests (each covering Probes/Batches tasks on average).
 	JobsLoaded atomic.Int64
 	Probes     atomic.Int64
+	Batches    atomic.Int64
 }
 
 // Worker is a shard worker's in-process core: a registry of loaded jobs
@@ -110,7 +134,7 @@ func (w *Worker) Load(spec JobSpec) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if prev, ok := w.jobs[spec.Job]; ok {
-		if prev.spec != spec {
+		if !specEqual(prev.spec, spec) {
 			return fmt.Errorf("shard: job %q already loaded with a different spec", spec.Job)
 		}
 		return nil
@@ -142,35 +166,58 @@ func (w *Worker) Load(spec JobSpec) error {
 	return nil
 }
 
+// job looks up a loaded job, mapping a miss to ErrUnknownJob.
+func (w *Worker) job(id string) (*workerJob, error) {
+	w.mu.Lock()
+	job, ok := w.jobs[id]
+	w.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return job, nil
+}
+
 // Probe executes one task against a loaded job: probe the task's shard for
-// each row in [ALo, AHi), verify candidates against the task's rule set,
+// each row in [ALo, AHi), verify candidates against the job's rule set,
 // return survivors in (a, b) order — the same semantics as LocalExecutor,
 // recomputed from the worker's own deterministic rebuild of the dataset.
 func (w *Worker) Probe(t Task) ([]record.Pair, error) {
-	w.mu.Lock()
-	job, ok := w.jobs[t.Job]
-	w.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, t.Job)
+	job, err := w.job(t.Job)
+	if err != nil {
+		return nil, err
 	}
+	if err := validateTask(job, t); err != nil {
+		return nil, err
+	}
+	return w.probeLoaded(job, t)
+}
+
+// validateTask checks a task's shape against its loaded job — the request-
+// level errors a batch handler must surface before committing a status.
+func validateTask(job *workerJob, t Task) error {
 	if t.Shards != job.spec.Shards {
-		return nil, fmt.Errorf("shard: task wants %d shards, job %q has %d",
+		return fmt.Errorf("shard: task wants %d shards, job %q has %d",
 			t.Shards, t.Job, job.spec.Shards)
 	}
 	if t.ALo < 0 || int(t.AHi) > len(job.profA) || t.ALo > t.AHi {
-		return nil, fmt.Errorf("shard: probe rows [%d,%d) out of range [0,%d)",
+		return fmt.Errorf("shard: probe rows [%d,%d) out of range [0,%d)",
 			t.ALo, t.AHi, len(job.profA))
 	}
+	return nil
+}
+
+// probeLoaded runs one validated task.
+func (w *Worker) probeLoaded(job *workerJob, t Task) ([]record.Pair, error) {
 	ix, err := job.shardIndex(t.Shard)
 	if err != nil {
 		return nil, err
 	}
-	v := NewVerifier(job.ex, t.Rules)
+	v := NewVerifier(job.ex, job.spec.Rules)
 	is := simindex.NewScratch()
 	var out []record.Pair
 	var cand []int32
 	for a := t.ALo; a < t.AHi; a++ {
-		cand = ix.Candidates(job.profA[a], t.Theta, is, cand[:0])
+		cand = ix.Candidates(job.profA[a], job.spec.Theta, is, cand[:0])
 		for _, b := range cand {
 			p := record.Pair{A: a, B: b}
 			if v.Survives(p) {
@@ -182,9 +229,15 @@ func (w *Worker) Probe(t Task) ([]record.Pair, error) {
 	return out, nil
 }
 
-// probeResponse is the /shard/probe wire envelope.
+// probeResponse is the /shard/probe JSON wire envelope (single probes and
+// NDJSON batch lines alike).
 type probeResponse struct {
 	Pairs []record.Pair `json:"pairs"`
+}
+
+// accepts reports whether the request's Accept header lists the media type.
+func accepts(r *http.Request, contentType string) bool {
+	return strings.Contains(r.Header.Get("Accept"), contentType)
 }
 
 // Handler serves the worker over HTTP:
@@ -192,8 +245,15 @@ type probeResponse struct {
 //	GET  /healthz     → 200 "ok" once the process accepts work
 //	GET  /metrics     → worker counters as JSON
 //	POST /shard/load  → body JobSpec; 200 when the job is probeable
-//	POST /shard/probe → body Task; 200 with {"pairs": [...]}, or 412 when
-//	                    the job is not loaded (client should load + retry)
+//	POST /shard/probe → body Task or [Task, ...]; 412 when the job is not
+//	                    loaded (client should load + retry)
+//
+// Probe responses are content-negotiated via Accept. A single task answers
+// with one binary pair block (application/x-corleone-pairs) or the JSON
+// envelope. A batch answers with a stream — one length-prefixed binary
+// block (application/x-corleone-pair-stream) or one NDJSON envelope line
+// per task, in task order, flushed per task so a client can consume (and,
+// after a mid-stream kill, keep) every completed prefix.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
@@ -208,6 +268,7 @@ func (w *Worker) Handler() http.Handler {
 			"jobs_loaded": int64(jobs),
 			"loads_total": w.stats.JobsLoaded.Load(),
 			"probes":      w.stats.Probes.Load(),
+			"batches":     w.stats.Batches.Load(),
 		})
 	})
 	mux.HandleFunc("/shard/load", func(rw http.ResponseWriter, r *http.Request) {
@@ -231,22 +292,111 @@ func (w *Worker) Handler() http.Handler {
 			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		var t Task
-		if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
-		pairs, err := w.Probe(t)
-		switch {
-		case errors.Is(err, ErrUnknownJob):
-			http.Error(rw, err.Error(), http.StatusPreconditionFailed)
-		case err != nil:
-			http.Error(rw, err.Error(), http.StatusBadRequest)
-		default:
-			writeWorkerJSON(rw, http.StatusOK, probeResponse{Pairs: pairs})
+		if t := bytes.TrimLeft(body, " \t\r\n"); len(t) > 0 && t[0] == '[' {
+			w.serveBatch(rw, r, body)
+			return
 		}
+		w.serveSingle(rw, r, body)
 	})
 	return mux
+}
+
+// serveSingle answers one task, negotiating the binary pair block against
+// the JSON envelope.
+func (w *Worker) serveSingle(rw http.ResponseWriter, r *http.Request, body []byte) {
+	var t Task
+	if err := json.Unmarshal(body, &t); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pairs, err := w.Probe(t)
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		http.Error(rw, err.Error(), http.StatusPreconditionFailed)
+	case err != nil:
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+	case accepts(r, PairsContentType):
+		rw.Header().Set("Content-Type", PairsContentType)
+		rw.WriteHeader(http.StatusOK)
+		//corlint:allow dur-ignored-write — status line already committed; a torn pipe surfaces as the client's read error, and no server-side state depends on the write
+		rw.Write(AppendPairs(nil, pairs))
+	default:
+		writeWorkerJSON(rw, http.StatusOK, probeResponse{Pairs: pairs})
+	}
+}
+
+// serveBatch answers a batch of tasks for this worker as a per-task result
+// stream. Every task is validated against its loaded job BEFORE the status
+// line is committed — an unknown job still surfaces as the 412 lazy-load
+// handshake, and a malformed task as a 400, exactly like the single path.
+// Past that point the stream writes one frame per task in order, flushing
+// each, so a client that loses the connection mid-batch keeps the
+// delivered prefix and re-pays only the tail.
+func (w *Worker) serveBatch(rw http.ResponseWriter, r *http.Request, body []byte) {
+	var tasks []Task
+	if err := json.Unmarshal(body, &tasks); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(tasks) == 0 {
+		http.Error(rw, "shard: empty probe batch", http.StatusBadRequest)
+		return
+	}
+	jobs := make([]*workerJob, len(tasks))
+	for i, t := range tasks {
+		job, err := w.job(t.Job)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusPreconditionFailed)
+			return
+		}
+		if err := validateTask(job, t); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		jobs[i] = job
+	}
+	binary := accepts(r, PairStreamContentType)
+	if binary {
+		rw.Header().Set("Content-Type", PairStreamContentType)
+	} else {
+		rw.Header().Set("Content-Type", JSONStreamContentType)
+	}
+	rw.WriteHeader(http.StatusOK)
+	flusher, _ := rw.(http.Flusher)
+	w.stats.Batches.Add(1)
+	var buf []byte
+	for i, t := range tasks {
+		pairs, err := w.probeLoaded(jobs[i], t)
+		if err != nil {
+			// The status is committed; truncating the stream is the only
+			// honest signal left. The client completes the delivered prefix
+			// and retries the rest at single-task granularity, where the
+			// error gets a proper status.
+			return
+		}
+		if binary {
+			buf = AppendPairs(buf[:0], pairs)
+			if err := WriteFrame(rw, buf); err != nil {
+				return // client gone; it keeps what it already read
+			}
+		} else {
+			line, err := json.Marshal(probeResponse{Pairs: pairs})
+			if err != nil {
+				return
+			}
+			if _, err := rw.Write(append(line, '\n')); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }
 
 // writeWorkerJSON writes v as a JSON response. Encode failure past the
@@ -255,6 +405,6 @@ func (w *Worker) Handler() http.Handler {
 func writeWorkerJSON(rw http.ResponseWriter, code int, v any) {
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(code)
-	//nolint:errcheck // header already written; a torn pipe surfaces client-side
+	//corlint:allow dur-ignored-write — status line already committed, so the error cannot become an HTTP failure; nothing durable is server-side and the peer's read error is the real signal
 	json.NewEncoder(rw).Encode(v)
 }

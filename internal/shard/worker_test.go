@@ -35,7 +35,8 @@ func testJob(t *testing.T, k int) (spec JobSpec, ex *feature.Extractor, rules []
 		t.Fatal("no jaccard_w feature")
 	}
 	rules = []tree.Rule{leRule(f, 0.3)}
-	spec = JobSpec{Job: "test-job", Dataset: "restaurants", Scale: scale, Shards: k, Feature: f}
+	spec = JobSpec{Job: "test-job", Dataset: "restaurants", Scale: scale,
+		Shards: k, Feature: f, Theta: 0.3, Rules: rules}
 	return spec, ex, rules
 }
 
@@ -45,8 +46,8 @@ func localBaseline(t *testing.T, spec JobSpec, ex *feature.Extractor, rules []tr
 	t.Helper()
 	profA, profB := ex.Profiles(spec.Feature)
 	group := BuildGroup(mustKind(t, ex, spec.Feature), profB, spec.Shards)
-	exec := NewLocalExecutor(ex, group, profA, rules)
-	tasks := BlockTasks(spec.Job, len(profA), spec.Shards, spec.Feature, 0.3, rules)
+	exec := NewLocalExecutor(ex, group, profA, rules, spec.Theta)
+	tasks := BlockTasks(spec.Job, len(profA), spec.Shards)
 	var out []record.Pair
 	per := make([][]record.Pair, spec.Shards)
 	filled := 0
@@ -87,7 +88,7 @@ func TestWorkerHTTPRoundTrip(t *testing.T) {
 
 	rexec := NewRemoteExecutor([]string{srv.URL}, spec, srv.Client())
 	profA, _ := ex.Profiles(spec.Feature)
-	tasks := BlockTasks(spec.Job, len(profA), spec.Shards, spec.Feature, 0.3, rules)
+	tasks := BlockTasks(spec.Job, len(profA), spec.Shards)
 	var got []record.Pair
 	per := make([][]record.Pair, spec.Shards)
 	filled := 0
@@ -180,7 +181,7 @@ func TestRemoteExecutorFailover(t *testing.T) {
 	var stats Stats
 	rexec := NewRemoteExecutor([]string{dead.URL, live.URL}, spec, live.Client())
 	profA, _ := ex.Profiles(spec.Feature)
-	tasks := BlockTasks(spec.Job, len(profA), spec.Shards, spec.Feature, 0.3, rules)
+	tasks := BlockTasks(spec.Job, len(profA), spec.Shards)
 	var got []record.Pair
 	per := make([][]record.Pair, spec.Shards)
 	filled := 0

@@ -11,11 +11,11 @@
 #   BENCH_OUT=out.json scripts/bench.sh
 #
 # In full mode the run also enforces speedup floors (see check_floor at
-# the bottom): recorded BENCH_PR7 values minus a noise tolerance, so a
-# regression in the scoring-core hot paths fails the bench job instead of
-# silently shipping.
+# the bottom): recorded BENCH_PR8 values minus a noise tolerance, so a
+# regression in the scoring-core hot paths or the shard transport fails
+# the bench job instead of silently shipping.
 #
-# The output (default BENCH_PR7.json) has these sections:
+# The output (default BENCH_PR8.json) has these sections:
 #   mode        "smoke" or "full" — smoke numbers are single-iteration and
 #               only prove the harness runs; compare speedups in full mode
 #   gomaxprocs/num_cpu  the parallelism the run actually had. Parallel-vs-
@@ -32,12 +32,17 @@
 #               workers vs the K=1 single index: ns/op speedup plus the
 #               per-shard peak index bytes (the scale-out memory story —
 #               per-shard bytes shrink ~K-fold regardless of CPU count)
+#   shard_transport  the PR 6 JSON-per-task wire protocol vs the binary
+#               batched path over loopback HTTP: probe throughput speedup
+#               (and the codec-only single-probe row), plus wire bytes per
+#               task with the reduction ratio. CPU-independent — both
+#               clients run serially against the same worker.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
-OUT="${BENCH_OUT:-BENCH_PR7.json}"
+OUT="${BENCH_OUT:-BENCH_PR8.json}"
 NCPU="$(nproc 2>/dev/null || echo 1)"
 
 case "$MODE" in
@@ -67,6 +72,9 @@ run ./internal/blocker/ 'BenchmarkApplyRules(String|Indexed|IndexedSelective)?$|
 # Like forest_train, the worker-sweep speedups only mean parallelism on a
 # multi-core box; the per-shard footprint column is CPU-independent.
 run ./internal/blocker/ 'BenchmarkShardedBlocking(K1|W1|W2|W4|W8)$'
+# Shard transport: the PR 6 fat-JSON-per-task protocol vs the lean binary
+# batched path, both against a real (loopback) shard-worker HTTP server.
+run ./internal/shard/ 'BenchmarkTransport(JSONLegacy|BinarySingle|BinaryBatched)$'
 # Forest training is parallel across trees: run serial-vs-parallel at 1 CPU
 # and at every CPU, so the forest_train speedup is read at real parallelism
 # (PR2 recorded 0.98x here — an artifact of benchmarking on a 1-core box).
@@ -99,6 +107,7 @@ BEGIN { n = 0 }
 		else if ($(i+1) == "allocs/op") allocs = $i
 		else if ($(i+1) !~ /^[0-9.]+$/) {
 			if ($(i+1) == "shard-peak-B") shardof[name] = $i
+			if ($(i+1) == "wire-B/task") wireof[name] = $i
 			if (extra != "") extra = extra ","
 			extra = extra sprintf("\"%s\":%s", $(i+1), $i)
 		}
@@ -127,6 +136,12 @@ function shardrow(workers, base, opt,   s, line) {
 	if (shardof[opt] != "") line = line sprintf(",\"per_shard_peak_bytes\":%s", shardof[opt])
 	if (shardof[base] != "") line = line sprintf(",\"baseline_index_bytes\":%s", shardof[base])
 	return line "}"
+}
+function wirecut(label, base, opt,   s) {
+	if (wireof[base] == "" || wireof[opt] == "" || wireof[opt] + 0 == 0) return ""
+	s = wireof[base] / wireof[opt]
+	return sprintf("    {\"name\":\"%s\",\"baseline\":\"%s\",\"optimized\":\"%s\",\"wire_bytes_baseline\":%s,\"wire_bytes_optimized\":%s,\"reduction\":%.2f}", \
+		label, base, opt, wireof[base], wireof[opt], s)
 }
 function memcut(label, base, opt,   s) {
 	if (bytesof[base] == "" || bytesof[opt] == "" || bytesof[opt] + 0 == 0) return ""
@@ -160,13 +175,19 @@ END {
 	if ((s = shardrow(4, "BenchmarkShardedBlockingK1", "BenchmarkShardedBlockingW4")) != "") sp[++m] = s
 	if ((s = shardrow(8, "BenchmarkShardedBlockingK1", "BenchmarkShardedBlockingW8")) != "") sp[++m] = s
 	for (i = 1; i <= m; i++) printf "%s%s\n", sp[i], (i < m ? "," : "")
+	printf "  ],\n  \"shard_transport\": [\n"
+	m = 0
+	if ((s = speedup("shard_probe_throughput", "BenchmarkTransportJSONLegacy", "BenchmarkTransportBinaryBatched")) != "") sp[++m] = s
+	if ((s = speedup("shard_probe_codec_only", "BenchmarkTransportJSONLegacy", "BenchmarkTransportBinarySingle")) != "") sp[++m] = s
+	if ((s = wirecut("shard_wire_bytes", "BenchmarkTransportJSONLegacy", "BenchmarkTransportBinaryBatched")) != "") sp[++m] = s
+	for (i = 1; i <= m; i++) printf "%s%s\n", sp[i], (i < m ? "," : "")
 	printf "  ]\n}\n"
 }
 ' "$RAW" >"$OUT"
 
 echo "wrote $OUT" >&2
 
-# Speedup floors, full mode only: each floor is the recorded BENCH_PR7
+# Speedup floors, full mode only: each floor is the recorded BENCH_PR8
 # full-mode value minus a generous noise tolerance (the bench box shows
 # ±15-30% run-to-run variance from virtualization steal time), so only a
 # real regression trips it, not a slow run. forest_train's floor sits at
@@ -174,15 +195,16 @@ echo "wrote $OUT" >&2
 # path runs inline there (the PR 6-documented caveat); read the speedup
 # alongside num_cpu. smoke mode runs one iteration per benchmark and
 # proves only that the harness runs, so floors are not enforced there.
-check_floor() { # check_floor <speedup name> <floor>
-	v="$(awk -F'"speedup":' -v n="$1" '$0 ~ "\"name\":\"" n "\"" { split($2, a, "}"); print a[1]; exit }' "$OUT")"
+check_floor() { # check_floor <row name> <floor> [field=speedup]
+	field="${3:-speedup}"
+	v="$(awk -F"\"$field\":" -v n="$1" '$0 ~ "\"name\":\"" n "\"" { split($2, a, /[,}]/); print a[1]; exit }' "$OUT")"
 	if [ -z "$v" ]; then
-		echo "bench floor: speedup \"$1\" missing from $OUT" >&2
+		echo "bench floor: $field \"$1\" missing from $OUT" >&2
 		FLOOR_FAIL=1
 		return
 	fi
 	if awk -v v="$v" -v f="$2" 'BEGIN { exit !(v + 0 < f + 0) }'; then
-		echo "bench floor: $1 speedup ${v}x is below floor ${2}x" >&2
+		echo "bench floor: $1 $field ${v}x is below floor ${2}x" >&2
 		FLOOR_FAIL=1
 	else
 		echo "bench floor: $1 ${v}x >= ${2}x ok" >&2
@@ -194,6 +216,11 @@ if [ "$MODE" = "full" ]; then
 	check_floor edit_similarity 10.0
 	check_floor forest_train 0.80
 	check_floor forest_score 1.40
+	# The PR 8 acceptance floors: the batched binary transport must move at
+	# least 5x fewer wire bytes per task and finish probes at least 2x
+	# faster than the PR 6 JSON-per-task protocol on loopback.
+	check_floor shard_probe_throughput 2.0
+	check_floor shard_wire_bytes 5.0 reduction
 	if [ "$FLOOR_FAIL" -ne 0 ]; then
 		echo "bench floors violated; see above" >&2
 		exit 1

@@ -33,6 +33,13 @@ go test -count=1 -run 'TestShardWorkerChaos/5xx-failover' ./internal/faultkit
 
 go test -race ./...
 
+# Wire-format fuzz smoke: a short differential run of the pair codec
+# (binary vs JSON round trip + decoder totality) and the K-way merge vs
+# its reference, so a codec change that breaks canonicality or totality
+# fails here in seconds instead of surfacing as a torn-stream mystery.
+go test -count=1 -run '^$' -fuzz 'FuzzPairCodec' -fuzztime 5s ./internal/shard
+go test -count=1 -run '^$' -fuzz 'FuzzMergePairs' -fuzztime 5s ./internal/shard
+
 # Bench-smoke sanity: every benchmark must still run (one iteration) and
 # the harness must emit parseable JSON. Numbers are not checked — smoke
 # mode only proves the measurement path works. Writes to a temp file so a
