@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint verify bench bench-smoke chaos fuzz
+.PHONY: build test lint lint-alloc verify bench bench-smoke chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,14 @@ test:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/corlint ./...
+
+# Compiler-backed allocation gate: diff `go build -gcflags=-m=1` escape
+# and inlining diagnostics for the hot-path packages against the
+# checked-in lint/allocbaseline.json. A new heap escape or lost inlining
+# in a guarded function fails; after a reviewed tradeoff, re-baseline
+# with `go run ./cmd/corlint -allocupdate`.
+lint-alloc:
+	$(GO) run ./cmd/corlint -alloc
 
 # gofmt gate + lint + build + full suite under the race detector.
 verify:

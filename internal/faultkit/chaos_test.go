@@ -76,7 +76,7 @@ func samePairs(a, b []record.Pair) bool {
 // under fault injection: tight seeded backoff, a breaker that recovers
 // fast enough to ride out 5xx bursts without stalling the run.
 func chaosClient(url string, seed int64) *platform.Client {
-	c := platform.NewClient(url)
+	c := platform.NewClient(url) //corlint:allow det-time — chaos harness drives the live-platform client on purpose; determinism is pinned by the seeded fault schedules, not the clock
 	rp := platform.NewRetryPolicy(seed)
 	rp.MaxAttempts = 4
 	rp.Base = 2 * time.Millisecond
@@ -187,7 +187,7 @@ func runChaos(t *testing.T, tc chaosCase, meta runsvc.Meta, base *engine.Result,
 	// Workers share the faulty transport: their claims and submits hit the
 	// same schedule, exercising claim abandonment, submit retries, and the
 	// server-side dedupe.
-	pool := platform.StartWorkers(chaosClient(srv.URL, caseSeed*1009+1), 3,
+	pool := platform.StartWorkers(chaosClient(srv.URL, caseSeed*1009+1), 3, //corlint:allow det-time — worker pool polls the live marketplace by design; the test asserts bit-identical results under seeded schedules
 		&crowd.Oracle{Truth: spec.Dataset.Truth}, time.Millisecond)
 	defer pool.Stop()
 
@@ -199,7 +199,7 @@ func runChaos(t *testing.T, tc chaosCase, meta runsvc.Meta, base *engine.Result,
 		}
 		settled := settledPairs(t, dir, jobID)
 
-		mgr, err := runsvc.NewManager(runsvc.Options{Workers: 1, JournalDir: dir})
+		mgr, err := runsvc.NewManager(runsvc.Options{Workers: 1, JournalDir: dir}) //corlint:allow det-time — the journaling service stamps operator-facing submission times; replay correctness never reads them back
 		if err != nil {
 			t.Fatalf("NewManager: %v", err)
 		}

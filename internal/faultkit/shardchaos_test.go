@@ -37,7 +37,7 @@ func shardChaosMeta() runsvc.Meta {
 // default.
 func runSharded(t *testing.T, meta runsvc.Meta, endpoints []string, batch int) (*engine.Result, runsvc.Metrics) {
 	t.Helper()
-	m, err := runsvc.NewManager(runsvc.Options{Workers: 1, ShardEndpoints: endpoints, ShardBatch: batch})
+	m, err := runsvc.NewManager(runsvc.Options{Workers: 1, ShardEndpoints: endpoints, ShardBatch: batch}) //corlint:allow det-time — the journaling service stamps operator-facing submission times; replay correctness never reads them back
 	if err != nil {
 		t.Fatalf("NewManager: %v", err)
 	}

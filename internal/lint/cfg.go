@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A lightweight per-function control-flow graph. Blocks hold simple
+// statements in execution order; compound statements (if/for/range/
+// switch/select) are decomposed into blocks and edges. The graph is
+// deliberately small-scope: it exists so conc-unlockpath can answer
+// "does every path from this Lock to the function exit pass an Unlock",
+// and so future path rules have a shared substrate.
+//
+// Functions using goto or labeled statements are not modeled; buildCFG
+// reports ok=false and the path rules skip them (none exist in this
+// repo's style — the gofmt-era codebase structures control flow with
+// returns and breaks).
+
+type cfgBlock struct {
+	stmts []ast.Stmt
+	succs []*cfgBlock
+}
+
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+	ok     bool
+}
+
+type cfgBuilder struct {
+	u             *Unit
+	c             *funcCFG
+	breakStack    []*cfgBlock
+	continueStack []*cfgBlock
+	bad           bool
+}
+
+func buildCFG(u *Unit, body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{u: u, c: &funcCFG{}}
+	b.c.entry = b.newBlock()
+	b.c.exit = b.newBlock()
+	end := b.stmtList(b.c.entry, body.List)
+	if end != nil {
+		b.link(end, b.c.exit) // fall off the end of the body
+	}
+	b.c.ok = !b.bad
+	return b.c
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+// stmtList threads a statement sequence through cur, returning the block
+// where control continues, or nil when every path terminated (return,
+// break, panic, ...). Statements after a terminator are unreachable and
+// dropped — exactly what the path analysis wants.
+func (b *cfgBuilder) stmtList(cur *cfgBlock, list []ast.Stmt) *cfgBlock {
+	for _, s := range list {
+		if cur == nil {
+			return nil
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, x.List)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			cur.stmts = append(cur.stmts, x.Init)
+		}
+		after := b.newBlock()
+		then := b.newBlock()
+		b.link(cur, then)
+		if end := b.stmtList(then, x.Body.List); end != nil {
+			b.link(end, after)
+		}
+		if x.Else != nil {
+			els := b.newBlock()
+			b.link(cur, els)
+			if end := b.stmt(els, x.Else); end != nil {
+				b.link(end, after)
+			}
+		} else {
+			b.link(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			cur.stmts = append(cur.stmts, x.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		body := b.newBlock()
+		b.link(cur, head)
+		b.link(head, body)
+		if x.Cond != nil {
+			b.link(head, after) // condition false
+		}
+		loopBack := head
+		if x.Post != nil {
+			post := b.newBlock()
+			post.stmts = append(post.stmts, x.Post)
+			b.link(post, head)
+			loopBack = post
+		}
+		b.breakStack = append(b.breakStack, after)
+		b.continueStack = append(b.continueStack, loopBack)
+		if end := b.stmtList(body, x.Body.List); end != nil {
+			b.link(end, loopBack)
+		}
+		b.breakStack = b.breakStack[:len(b.breakStack)-1]
+		b.continueStack = b.continueStack[:len(b.continueStack)-1]
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.stmts = append(head.stmts, s) // the range header itself
+		after := b.newBlock()
+		body := b.newBlock()
+		b.link(cur, head)
+		b.link(head, body)
+		b.link(head, after) // exhausted (or empty) range
+		b.breakStack = append(b.breakStack, after)
+		b.continueStack = append(b.continueStack, head)
+		if end := b.stmtList(body, x.Body.List); end != nil {
+			b.link(end, head)
+		}
+		b.breakStack = b.breakStack[:len(b.breakStack)-1]
+		b.continueStack = b.continueStack[:len(b.continueStack)-1]
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var clauses []ast.Stmt
+		switch sw := x.(type) {
+		case *ast.SwitchStmt:
+			init = sw.Init
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init = sw.Init
+			cur.stmts = append(cur.stmts, sw.Assign)
+			clauses = sw.Body.List
+		}
+		if init != nil {
+			cur.stmts = append(cur.stmts, init)
+		}
+		after := b.newBlock()
+		b.breakStack = append(b.breakStack, after)
+		// Pre-create clause entry blocks so fallthrough can target the
+		// next clause.
+		entries := make([]*cfgBlock, len(clauses))
+		hasDefault := false
+		for i, c := range clauses {
+			entries[i] = b.newBlock()
+			b.link(cur, entries[i])
+			if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			b.link(cur, after) // no case matched
+		}
+		for i, c := range clauses {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				b.bad = true
+				continue
+			}
+			end := b.clauseBody(entries[i], cc.Body, entries, i)
+			if end != nil {
+				b.link(end, after)
+			}
+		}
+		b.breakStack = b.breakStack[:len(b.breakStack)-1]
+		return after
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.breakStack = append(b.breakStack, after)
+		for _, c := range x.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				b.bad = true
+				continue
+			}
+			entry := b.newBlock()
+			if cc.Comm != nil {
+				entry.stmts = append(entry.stmts, cc.Comm)
+			}
+			b.link(cur, entry)
+			if end := b.stmtList(entry, cc.Body); end != nil {
+				b.link(end, after)
+			}
+		}
+		b.breakStack = b.breakStack[:len(b.breakStack)-1]
+		if len(x.Body.List) == 0 {
+			return nil // empty select blocks forever
+		}
+		return after
+
+	case *ast.ReturnStmt:
+		cur.stmts = append(cur.stmts, s)
+		b.link(cur, b.c.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		if x.Label != nil || x.Tok == token.GOTO {
+			b.bad = true
+			return nil
+		}
+		switch x.Tok {
+		case token.BREAK:
+			if n := len(b.breakStack); n > 0 {
+				b.link(cur, b.breakStack[n-1])
+			} else {
+				b.bad = true
+			}
+		case token.CONTINUE:
+			if n := len(b.continueStack); n > 0 {
+				b.link(cur, b.continueStack[n-1])
+			} else {
+				b.bad = true
+			}
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		b.bad = true
+		return nil
+
+	default:
+		cur.stmts = append(cur.stmts, s)
+		if isTerminalStmt(b.u, s) {
+			return nil // panic/os.Exit/t.Fatal: control never continues
+		}
+		return cur
+	}
+}
+
+// clauseBody builds one switch-case body; a trailing fallthrough links
+// to the next clause's entry instead of the merge block.
+func (b *cfgBuilder) clauseBody(entry *cfgBlock, body []ast.Stmt, entries []*cfgBlock, i int) *cfgBlock {
+	cur := entry
+	for _, s := range body {
+		if cur == nil {
+			return nil
+		}
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if i+1 < len(entries) {
+				b.link(cur, entries[i+1])
+			}
+			return nil
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// terminalFuncs are calls after which control does not continue on this
+// path. Test-failure helpers are included so a `t.Fatal` under a lock
+// does not demand an unlock that could never run.
+var terminalFuncs = map[string]bool{
+	"Exit": true, "Goexit": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Skip": true, "Skipf": true, "SkipNow": true, "FailNow": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+func isTerminalStmt(u *Unit, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := u.Info.Uses[fun].(*types.Builtin); ok && obj.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		return terminalFuncs[fun.Sel.Name]
+	}
+	return false
+}
+
+// reachesExitWithout runs the conc-unlockpath query: starting after
+// statement index `from` in block `start`, can control reach the
+// function exit without passing a statement satisfying `release`?
+// Returns the first offending exit-reaching path's existence.
+func (c *funcCFG) reachesExitWithout(start *cfgBlock, from int, release func(ast.Stmt) bool) bool {
+	// Scan the rest of the starting block first.
+	for _, s := range start.stmts[from:] {
+		if release(s) {
+			return false
+		}
+	}
+	seen := map[*cfgBlock]bool{}
+	var walk func(blk *cfgBlock) bool
+	walk = func(blk *cfgBlock) bool {
+		if blk == c.exit {
+			return true
+		}
+		if seen[blk] {
+			return false
+		}
+		seen[blk] = true
+		for _, s := range blk.stmts {
+			if release(s) {
+				return false
+			}
+		}
+		for _, next := range blk.succs {
+			if walk(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, next := range start.succs {
+		if walk(next) {
+			return true
+		}
+	}
+	return false
+}

@@ -6,6 +6,12 @@
 // of nondeterminism and data loss mechanically, so a future refactor
 // cannot reintroduce them in an uncovered path.
 //
+// Analysis is staged: per-unit rules run in parallel over every analysis
+// unit, then a module-wide call graph (callgraph.go) is built once and
+// the program rules (taint flows, cross-function lock ordering) run over
+// it, and finally cmd/corlint's -alloc mode diffs compiler escape and
+// inlining diagnostics against a checked-in baseline (alloc.go).
+//
 // Findings are suppressible only with an explicit, reasoned annotation on
 // the offending line (see allow.go); the driver exits nonzero on any
 // unsuppressed finding, on malformed annotations, and on annotations that
@@ -19,6 +25,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"github.com/corleone-em/corleone/internal/par"
 )
 
 // Finding is one diagnostic: position, the rule that fired, a one-line
@@ -91,6 +99,18 @@ type Config struct {
 	// may use ==/!= on floats: the one place exact comparison is written
 	// deliberately, reviewed, and documented.
 	FloatCmpApproved map[string]bool
+	// CtxPkgSubstrings lists import-path fragments marking the service
+	// paths (cross-process calls, cancellation-sensitive) where a
+	// function holding a context.Context must thread it.
+	CtxPkgSubstrings []string
+	// DetSeamIfaces lists interface methods ("pkgname.Iface.Method")
+	// that are audited determinism seams: dispatch through them may
+	// reach a live, wall-clock-bound implementation by design, and the
+	// caller's determinism is conditional on which implementation the
+	// run wires in. The flow rules do not report dispatches through a
+	// seam; the deterministic implementations behind it are still
+	// checked like any other code.
+	DetSeamIfaces map[string]bool
 }
 
 // DefaultConfig is the scoping used for this repository.
@@ -117,10 +137,25 @@ func DefaultConfig() *Config {
 			// greedySelect a total, deterministic rule order.
 			"blocker.keyLess": true,
 		},
+		CtxPkgSubstrings: []string{
+			"internal/runsvc",
+			"internal/shard",
+			"internal/platform",
+		},
+		DetSeamIfaces: map[string]bool{
+			// The crowd abstraction is the system's one deliberate
+			// determinism boundary: the same engine code drives either
+			// the seeded simulator (bit-identical) or the live
+			// marketplace client (wall-clock deadlines, human answers).
+			// Callers are deterministic exactly when the simulator is
+			// wired in, which the equivalence suites pin.
+			"crowd.Crowd.Answer":       true,
+			"crowd.CrowdErr.AnswerErr": true,
+		},
 	}
 }
 
-// Rules returns the full analyzer table in reporting order.
+// Rules returns the per-unit analyzer table in reporting order.
 func Rules() []Rule {
 	return []Rule{
 		detRand{},
@@ -130,6 +165,21 @@ func Rules() []Rule {
 		durIgnoredWrite{},
 		concLoopCapture{},
 		concNoJoin{},
+		concUnlockPath{},
+		ctxPropagate{},
+	}
+}
+
+// ProgramRules returns the whole-program analyzers — the stages that
+// need the module call graph. det-rand and det-time appear here a
+// second time: the unit rule reports direct uses, the program rule the
+// transitive chains the unit view cannot see; both report under one ID
+// so one allow grammar covers them.
+func ProgramRules() []ProgramRule {
+	return []ProgramRule{
+		detRandFlow(),
+		detTimeFlow(),
+		concLockOrder{},
 	}
 }
 
@@ -139,10 +189,15 @@ func KnownRuleIDs() map[string]bool {
 	for _, r := range Rules() {
 		ids[r.ID()] = true
 	}
+	for _, r := range ProgramRules() {
+		ids[r.ID()] = true
+	}
 	return ids
 }
 
-// Run executes every rule over every unit, applies //corlint:allow
+// Run executes the staged pipeline over the loaded units — per-unit
+// rules fanned out in parallel, then the call-graph stage (taint flows,
+// lock order) over the whole program — applies //corlint:allow
 // suppressions, and returns the surviving findings sorted by position.
 // srcs maps file names (as recorded in the fset) to raw source bytes;
 // it is used to distinguish trailing from standalone allow comments.
@@ -152,21 +207,44 @@ func Run(units []*Unit, srcs map[string][]byte, cfg *Config) []Finding {
 	}
 	allows, findings := collectAllows(units, srcs)
 
-	seen := make(map[string]bool)
-	for _, u := range units {
-		for _, r := range Rules() {
-			for _, f := range r.Check(u, cfg) {
-				key := fmt.Sprintf("%s:%d:%d:%s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule)
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				if allows.suppress(f) {
-					continue
-				}
-				findings = append(findings, f)
+	// Stage 1: per-unit rules. Units are independent (type info is
+	// read-only by now), so the fan-out follows internal/par's chunked
+	// pattern: each slot writes only its own index.
+	perUnit := make([][]Finding, len(units))
+	par.For(len(units), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for _, r := range Rules() {
+				perUnit[i] = append(perUnit[i], r.Check(units[i], cfg)...)
 			}
 		}
+	})
+
+	// Stage 2: the whole-program pass over the call graph.
+	prog := BuildProgram(units)
+	var programFindings []Finding
+	for _, r := range ProgramRules() {
+		programFindings = append(programFindings, r.CheckProgram(prog, cfg)...)
+	}
+
+	seen := make(map[string]bool)
+	keep := func(f Finding) {
+		key := fmt.Sprintf("%s:%d:%d:%s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if allows.suppress(f) {
+			return
+		}
+		findings = append(findings, f)
+	}
+	for _, fs := range perUnit {
+		for _, f := range fs {
+			keep(f)
+		}
+	}
+	for _, f := range programFindings {
+		keep(f)
 	}
 	findings = append(findings, allows.unused()...)
 	sort.Slice(findings, func(i, j int) bool {

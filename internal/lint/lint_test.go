@@ -18,6 +18,8 @@ func fixtureConfig() *Config {
 		TimeAllowedPkgs:         map[string]bool{"platform": true, "runsvc": true},
 		DurabilityPkgSubstrings: []string{"internal/runsvc", "internal/crowd"},
 		FloatCmpApproved:        map[string]bool{"floateq.approxEq": true},
+		CtxPkgSubstrings:        []string{"internal/runsvc", "internal/shard", "internal/platform"},
+		DetSeamIfaces:           map[string]bool{"flowtime.Seam.Stamp": true},
 	}
 }
 
@@ -49,19 +51,29 @@ func TestFixtures(t *testing.T) {
 	cases := []struct {
 		name       string
 		importPath string
+		// deps are sibling packages loaded first (subdir under the fixture
+		// dir, synthetic import path); the fixture may import them, and
+		// their units join the program for the call-graph stage.
+		deps [][2]string
 	}{
-		{"detrand", "fixture/detrand"},
-		{"dettime", "fixture/dettime"},
-		{"clockok", "fixture/platform"},
-		{"detmaprange", "fixture/detmaprange"},
-		{"floateq", "fixture/floateq"},
-		{"durwrite", "fixture/internal/runsvc/durwrite"},
-		{"concloop", "fixture/concloop"},
-		{"concjoin", "fixture/concjoin"},
-		{"allowok", "fixture/allowok"},
-		{"allowbad", "fixture/allowbad"},
-		{"multifile", "fixture/multifile"},
-		{"clean", "fixture/clean"},
+		{name: "detrand", importPath: "fixture/detrand"},
+		{name: "dettime", importPath: "fixture/dettime"},
+		{name: "clockok", importPath: "fixture/platform"},
+		{name: "detmaprange", importPath: "fixture/detmaprange"},
+		{name: "floateq", importPath: "fixture/floateq"},
+		{name: "durwrite", importPath: "fixture/internal/runsvc/durwrite"},
+		{name: "concloop", importPath: "fixture/concloop"},
+		{name: "concjoin", importPath: "fixture/concjoin"},
+		{name: "allowok", importPath: "fixture/allowok"},
+		{name: "allowbad", importPath: "fixture/allowbad"},
+		{name: "multifile", importPath: "fixture/multifile"},
+		{name: "clean", importPath: "fixture/clean"},
+		{name: "unlockpath", importPath: "fixture/unlockpath"},
+		{name: "lockorder", importPath: "fixture/lockorder"},
+		{name: "ctxpropagate", importPath: "fixture/internal/shard/ctxdemo"},
+		{name: "flowrand", importPath: "fixture/flowrand"},
+		{name: "flowtime", importPath: "fixture/flowtime",
+			deps: [][2]string{{"platform", "fixture/flowtime/platform"}}},
 	}
 	root := moduleRoot(t)
 	for _, tc := range cases {
@@ -71,10 +83,19 @@ func TestFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			units, err := loader.LoadDir(dir, tc.importPath)
+			var units []*Unit
+			for _, dep := range tc.deps {
+				depUnits, err := loader.LoadDir(filepath.Join(dir, dep[0]), dep[1])
+				if err != nil {
+					t.Fatalf("fixture dep must type-check cleanly: %v", err)
+				}
+				units = append(units, depUnits...)
+			}
+			mainUnits, err := loader.LoadDir(dir, tc.importPath)
 			if err != nil {
 				t.Fatalf("fixture must type-check cleanly: %v", err)
 			}
+			units = append(units, mainUnits...)
 			got := renderFindings(Run(units, loader.Srcs, fixtureConfig()))
 
 			goldenPath := filepath.Join(dir, "expect.golden")
@@ -110,12 +131,15 @@ func renderFindings(findings []Finding) string {
 	return b.String()
 }
 
-// TestRuleIDsStable pins the rule table: a rule silently vanishing from
-// the registry would disable enforcement without failing anything else.
+// TestRuleIDsStable pins both rule tables: a rule silently vanishing
+// from a registry would disable enforcement without failing anything
+// else. det-rand/det-time appear in both on purpose — the unit rule
+// reports direct uses, the program rule transitive chains.
 func TestRuleIDsStable(t *testing.T) {
 	want := []string{
 		"det-rand", "det-time", "det-maprange", "float-eq",
 		"dur-ignored-write", "conc-loopcapture", "conc-nojoin",
+		"conc-unlockpath", "ctx-propagate",
 	}
 	var got []string
 	for _, r := range Rules() {
@@ -125,6 +149,18 @@ func TestRuleIDsStable(t *testing.T) {
 		}
 	}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
-		t.Errorf("rule table = %v, want %v", got, want)
+		t.Errorf("unit rule table = %v, want %v", got, want)
+	}
+
+	wantProg := []string{"det-rand", "det-time", "conc-lockorder"}
+	var gotProg []string
+	for _, r := range ProgramRules() {
+		gotProg = append(gotProg, r.ID())
+		if r.Doc() == "" {
+			t.Errorf("program rule %s has no doc line", r.ID())
+		}
+	}
+	if fmt.Sprint(gotProg) != fmt.Sprint(wantProg) {
+		t.Errorf("program rule table = %v, want %v", gotProg, wantProg)
 	}
 }

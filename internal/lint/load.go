@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"github.com/corleone-em/corleone/internal/par"
 )
 
 // Loader parses and type-checks every package in a module using only the
@@ -35,6 +37,10 @@ type Loader struct {
 	src      types.Importer
 	memo     map[string]*basePkg
 	checking map[string]bool
+	// preparsed holds directories parsed by LoadModule's parallel
+	// pre-pass; loadBase consumes them instead of re-parsing. Parse
+	// errors ride along in the basePkg's err field.
+	preparsed map[string]*basePkg
 }
 
 type basePkg struct {
@@ -87,6 +93,12 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "C" {
 		return nil, fmt.Errorf("lint: cgo is not supported")
 	}
+	// Anything already loaded resolves from the memo first. This is what
+	// lets a fixture package import a sibling fixture loaded earlier via
+	// LoadDir under a synthetic path outside the module.
+	if bp, ok := l.memo[path]; ok {
+		return bp.pkg, bp.err
+	}
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
 		bp, err := l.loadBase(path)
 		if err != nil {
@@ -133,8 +145,11 @@ func (l *Loader) loadBase(importPath string) (*basePkg, error) {
 	l.checking[importPath] = true
 	defer delete(l.checking, importPath)
 
-	bp := &basePkg{path: importPath, dir: l.dirFor(importPath)}
-	bp.err = l.parseDir(bp)
+	bp, ok := l.preparsed[importPath]
+	if !ok {
+		bp = &basePkg{path: importPath, dir: l.dirFor(importPath)}
+		bp.err = l.parseDir(bp)
+	}
 	if bp.err == nil {
 		if len(bp.files) == 0 {
 			// Test-only directory: type-check the in-package test files
@@ -162,6 +177,13 @@ func (l *Loader) typesConfig() types.Config {
 }
 
 func (l *Loader) parseDir(bp *basePkg) error {
+	return l.parseDirInto(bp, l.Srcs)
+}
+
+// parseDirInto parses one directory, recording raw sources into srcs.
+// Callers that run concurrently pass a private srcs map and merge after;
+// the shared FileSet is safe (its methods are synchronized).
+func (l *Loader) parseDirInto(bp *basePkg, srcs map[string][]byte) error {
 	entries, err := os.ReadDir(bp.dir)
 	if err != nil {
 		return fmt.Errorf("lint: %w", err)
@@ -189,7 +211,7 @@ func (l *Loader) parseDir(bp *basePkg) error {
 		if err != nil {
 			return fmt.Errorf("lint: %w", err)
 		}
-		l.Srcs[full] = src
+		srcs[full] = src
 		switch {
 		case !isTestFile(name):
 			bp.files = append(bp.files, f)
@@ -270,16 +292,43 @@ func (l *Loader) LoadModule() ([]*Unit, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	var units []*Unit
-	for _, dir := range dirs {
+	paths := make([]string, len(dirs))
+	for i, dir := range dirs {
 		rel, err := filepath.Rel(l.ModDir, dir)
 		if err != nil {
 			return nil, err
 		}
-		importPath := l.ModPath
+		paths[i] = l.ModPath
 		if rel != "." {
-			importPath = l.ModPath + "/" + filepath.ToSlash(rel)
+			paths[i] = l.ModPath + "/" + filepath.ToSlash(rel)
 		}
+	}
+
+	// Parse pre-pass: directories parse concurrently. Each slot owns its
+	// own basePkg and srcs map (merged below); the shared FileSet is the
+	// only cross-slot state, and its methods are synchronized.
+	// Type-checking stays sequential — every package check recurses into
+	// the shared importer memo.
+	pre := make([]*basePkg, len(dirs))
+	preSrcs := make([]map[string][]byte, len(dirs))
+	par.For(len(dirs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			bp := &basePkg{path: paths[i], dir: dirs[i]}
+			preSrcs[i] = make(map[string][]byte)
+			bp.err = l.parseDirInto(bp, preSrcs[i])
+			pre[i] = bp
+		}
+	})
+	l.preparsed = make(map[string]*basePkg, len(pre))
+	for i, bp := range pre {
+		l.preparsed[bp.path] = bp
+		for name, src := range preSrcs[i] {
+			l.Srcs[name] = src
+		}
+	}
+
+	var units []*Unit
+	for _, importPath := range paths {
 		bp, err := l.loadBase(importPath)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ---- ctx-propagate: on the service paths (runsvc, shard, platform —
+// the packages whose calls cross processes and must honor cancellation),
+// a function that was *given* a context.Context must thread it. Minting
+// a fresh context.Background/TODO severs the caller's cancellation and
+// deadline; time.Sleep and the context-less net/http constructors block
+// without any way to abort. Test files are exempt — a test owns its own
+// lifetime and context.Background is the documented root there.
+
+type ctxPropagate struct{}
+
+func (ctxPropagate) ID() string { return "ctx-propagate" }
+func (ctxPropagate) Doc() string {
+	return "forbid functions on service paths that accept a context.Context but sever it (fresh Background/TODO) or call blocking ops that ignore it (time.Sleep, context-less net/http)"
+}
+
+func (ctxPropagate) Check(u *Unit, cfg *Config) []Finding {
+	if !pathMatchesAny(u.Path, cfg.CtxPkgSubstrings) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range u.reportFiles() {
+		if isTestFile(u.filename(f)) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !acceptsContext(u, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := pkgFunc(u, call.Fun)
+				if fn == nil {
+					return true
+				}
+				if finding, ok := ctxViolation(fn, fd.Name.Name); ok {
+					finding.Pos = u.position(call.Pos())
+					out = append(out, finding)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func pathMatchesAny(path string, subs []string) bool {
+	for _, s := range subs {
+		if s != "" && strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsContext reports whether the function signature carries a usable
+// (named) context.Context parameter.
+func acceptsContext(u *Unit, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := u.Info.TypeOf(field.Type)
+		if namedType(t) != "context.Context" {
+			continue
+		}
+		// A `_ context.Context` parameter cannot be threaded; the
+		// signature promises nothing.
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ctxViolation classifies one external call made by a context-carrying
+// function.
+func ctxViolation(fn *types.Func, caller string) (Finding, bool) {
+	if fn.Pkg() == nil {
+		return Finding{}, false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "context":
+		if name == "Background" || name == "TODO" {
+			return Finding{
+				Rule: "ctx-propagate",
+				Msg:  fmt.Sprintf("%s accepts a context but mints a fresh context.%s, severing the caller's cancellation", caller, name),
+				Hint: "derive from the incoming ctx (context.WithTimeout(ctx, ...)) instead",
+			}, true
+		}
+	case "time":
+		if name == "Sleep" {
+			return Finding{
+				Rule: "ctx-propagate",
+				Msg:  fmt.Sprintf("%s accepts a context but blocks in time.Sleep, which cannot be canceled", caller),
+				Hint: "select on time.After/NewTimer and ctx.Done() so cancellation interrupts the wait",
+			}, true
+		}
+	case "net/http":
+		switch name {
+		case "Get", "Head", "Post", "PostForm", "NewRequest":
+			return Finding{
+				Rule: "ctx-propagate",
+				Msg:  fmt.Sprintf("%s accepts a context but issues http.%s without it", caller, name),
+				Hint: "build the request with http.NewRequestWithContext(ctx, ...)",
+			}, true
+		}
+	}
+	return Finding{}, false
+}

@@ -16,7 +16,7 @@ type detRand struct{}
 
 func (detRand) ID() string { return "det-rand" }
 func (detRand) Doc() string {
-	return "forbid the process-global math/rand source; all randomness must flow from an explicit seed"
+	return "forbid the process-global math/rand source outside benchmarks; all randomness must flow from an explicit seed"
 }
 
 // Constructors are fine — they are how seeded generators get built.
@@ -28,6 +28,13 @@ var randConstructors = map[string]bool{
 func (detRand) Check(u *Unit, cfg *Config) []Finding {
 	var out []Finding
 	for _, f := range u.reportFiles() {
+		// Benchmarks generate load, not results; like det-time they sit
+		// outside the bit-identical contract. The det-rand *flow* rule
+		// guards the other direction: deterministic code calling into a
+		// bench helper that leans on the global source.
+		if isBenchFile(u.filename(f)) {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {

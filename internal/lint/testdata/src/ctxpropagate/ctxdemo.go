@@ -1,0 +1,40 @@
+// Fixture for ctx-propagate: the synthetic import path places this
+// package on the shard service path, where a function that accepts a
+// context must thread it.
+package ctxdemo
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// fetch accepts a context but blocks and dials without it.
+func fetch(ctx context.Context, url string) error {
+	time.Sleep(time.Millisecond)
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// mint severs the caller's cancellation with a fresh root.
+func mint(ctx context.Context) context.Context {
+	return context.Background()
+}
+
+// fine threads the context the way the rule wants.
+func fine(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil)
+}
+
+// noctx takes no context, so it promises nothing — out of scope.
+func noctx() {
+	time.Sleep(time.Millisecond)
+}
+
+// settle's fixed delay is part of the wire protocol; audited.
+func settle(ctx context.Context) {
+	time.Sleep(time.Millisecond) //corlint:allow ctx-propagate — protocol settle delay is fixed and sub-millisecond; cancellation is checked by the caller right after
+}

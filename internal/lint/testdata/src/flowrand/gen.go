@@ -1,0 +1,8 @@
+// Fixture for the det-rand flow rule: deterministic code calling a
+// bench-file helper that leans on the process-global source.
+package flowrand
+
+import "math/rand"
+
+// sample threads a seeded generator — the sanctioned path.
+func sample(r *rand.Rand, n int) int { return r.Intn(n) }

@@ -1,0 +1,16 @@
+package flowrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// noise leans on the process-global source: fine for load generation
+// inside a benchmark, poison for anything deterministic that calls it.
+func noise() int { return rand.Int() }
+
+func BenchmarkNoise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = noise()
+	}
+}

@@ -1,0 +1,18 @@
+// Package platform stands in for the live-marketplace client: the one
+// place wall-clock reads are allowed — and therefore where time taint
+// hides from the per-unit rule.
+package platform
+
+import "time"
+
+// Stamp reaches the clock through a local helper, so callers elsewhere
+// see a two-hop chain.
+func Stamp() int64 { return now().UnixNano() }
+
+func now() time.Time { return time.Now() }
+
+// SysClock implements the main fixture's Clock and Seam interfaces with
+// a wall-clock read.
+type SysClock struct{}
+
+func (SysClock) Stamp() int64 { return time.Now().UnixNano() }

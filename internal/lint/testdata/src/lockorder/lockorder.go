@@ -1,0 +1,46 @@
+// Fixture for conc-lockorder: two mutexes acquired in opposite orders
+// somewhere in the program — directly or through a call chain.
+package lockorder
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+// forward takes A then B directly.
+func forward() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// reverse takes B, then reaches A through touchA — the call graph
+// supplies the transitive lock set.
+func reverse() {
+	muB.Lock()
+	touchA()
+	muB.Unlock()
+}
+
+func touchA() {
+	muA.Lock()
+	muA.Unlock()
+}
+
+var muC, muD sync.Mutex
+
+// startup/shutdown hold their pair in opposite orders on purpose: the
+// lifecycle guarantees they never run concurrently.
+func startup() {
+	muC.Lock()
+	muD.Lock() //corlint:allow conc-lockorder — startup and shutdown never overlap; the lifecycle pins their order
+	muD.Unlock()
+	muC.Unlock()
+}
+
+func shutdown() {
+	muD.Lock()
+	muC.Lock()
+	muC.Unlock()
+	muD.Unlock()
+}

@@ -1,0 +1,72 @@
+// Fixture for conc-unlockpath: every acquire must be balanced on every
+// path to the exit — by defer or by an explicit release per path.
+package unlockpath
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// peek leaks: the early return exits with the lock held.
+func (c *counter) peek() int {
+	c.mu.Lock()
+	if c.n > 0 {
+		return c.n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// read leaks the read lock the same way.
+func (c *counter) read() (int, bool) {
+	c.mu.RLock()
+	if c.n < 0 {
+		return 0, false
+	}
+	v := c.n
+	c.mu.RUnlock()
+	return v, true
+}
+
+// incr is the idiom: defer right after acquiring.
+func (c *counter) incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// swap releases explicitly on every path — also fine.
+func (c *counter) swap(v int) int {
+	c.mu.Lock()
+	if v < 0 {
+		c.mu.Unlock()
+		return c.n
+	}
+	old := c.n
+	c.n = v
+	c.mu.Unlock()
+	return old
+}
+
+// must panics on the empty path; a terminated path is not a leak.
+func (c *counter) must() int {
+	c.mu.Lock()
+	if c.n == 0 {
+		panic("empty")
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// acquire is a deliberate lock handoff: done() releases.
+func (c *counter) acquire() {
+	c.mu.Lock() //corlint:allow conc-unlockpath — lock handoff: every caller pairs this with done(), audited
+	c.n++
+}
+
+func (c *counter) done() {
+	c.mu.Unlock()
+}

@@ -20,6 +20,12 @@ go vet ./...
 go run ./cmd/corlint ./...
 go build ./...
 
+# Allocation gate: compiler escape/inlining diagnostics for the hot-path
+# packages vs the checked-in baseline. Runs right after the build so it
+# rides the warm build cache (the compiler replays -m diagnostics on
+# cache hits).
+go run ./cmd/corlint -alloc
+
 # Chaos smoke: one transport schedule and one kill-point schedule run
 # first, without -race, so a resilience regression surfaces in seconds
 # instead of at the end of the long race run. The race run that follows
