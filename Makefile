@@ -31,12 +31,16 @@ verify:
 	sh scripts/verify.sh
 
 # Chaos suite under the race detector: every seeded fault schedule
-# (transport 5xx bursts/drops/latency, torn journal writes, kill-points)
-# drives a full engine run through the HTTP marketplace and the resume
-# journal, and must converge bit-identically to the unfaulted baseline
-# with no double-pay. -count=1 forces a fresh run past the test cache.
+# (transport 5xx bursts/drops/latency, torn journal writes, kill-points,
+# snapshot kill-points mid-write/mid-rotate and corrupt snapshot
+# generations) drives a full engine run through the HTTP marketplace and
+# the resume journal, and must converge bit-identically to the unfaulted
+# baseline with no double-pay. The runsvc snapshot tests ride along: the
+# corruption fallback ladder, the bounded-replay cost assertion, and
+# compaction retention. -count=1 forces a fresh run past the test cache.
 chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaosSchedules' ./internal/faultkit
+	$(GO) test -race -count=1 -run 'TestSnapshot' ./internal/runsvc
 
 # Sharded-execution gate under the race detector: the blocker-level
 # equivalence/determinism tests, the shard runtime's own suite, the

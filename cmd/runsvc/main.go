@@ -6,6 +6,7 @@
 //
 //	runsvc -addr :8090 -workers 4 -journal ./journal
 //	runsvc -addr :8090 -shard-endpoints http://w1:9301,http://w2:9301
+//	runsvc -snapshot-every 1 -max-journal-bytes 1073741824
 //
 // API:
 //
@@ -17,8 +18,21 @@
 //	POST /jobs/{id}/resume    resume a journaled job
 //	GET  /jobs/{id}/events    NDJSON progress stream (history, then live)
 //	GET  /journal             list journaled job ids
-//	GET  /healthz             liveness probe
-//	GET  /metrics             job/shard/journal counters
+//	GET  /healthz             liveness probe (503 "draining" during drain)
+//	GET  /metrics             job/shard/journal/snapshot counters
+//
+// Overload is signaled, never hidden: a full queue or an exhausted
+// -max-journal-bytes budget rejects the submit with 429 Too Many Requests
+// plus Retry-After; once draining begins, submits get 503 + Retry-After
+// and /healthz flips to 503 so load balancers stop routing here.
+//
+// With -snapshot-every N > 0, each job's journal is compacted every Nth
+// checkpoint: a checksummed snapshot generation replaces the log prefix,
+// so resume cost is bounded by records since the last snapshot rather
+// than the run's whole history. Snapshots from a newer configuration are
+// ignored by older binaries only in the sense that journals without
+// snapshots stay fully replayable; a corrupt newest generation falls back
+// to the previous one automatically.
 //
 // With -shard-endpoints set, each job's sharded blocking tasks fan out to
 // those shardworker processes over HTTP. On startup the service lists any
@@ -62,14 +76,18 @@ func run(args []string, sigs <-chan os.Signal) error {
 	workers := fs.Int("workers", 4, "concurrent job executors")
 	journal := fs.String("journal", "./journal", "journal root directory (empty = in-memory only)")
 	endpoints := fs.String("shard-endpoints", "", "comma-separated shardworker base URLs (empty = in-process sharding)")
+	snapEvery := fs.Int("snapshot-every", 1, "compact each job's journal every N checkpoints (0 = never)")
+	maxJournal := fs.Int64("max-journal-bytes", 0, "shed new submissions once the journal root holds this many bytes (0 = unlimited; resumes are exempt)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	m, err := runsvc.NewManager(runsvc.Options{
-		Workers:        *workers,
-		JournalDir:     *journal,
-		ShardEndpoints: splitEndpoints(*endpoints),
+		Workers:         *workers,
+		JournalDir:      *journal,
+		ShardEndpoints:  splitEndpoints(*endpoints),
+		SnapshotEvery:   *snapEvery,
+		MaxJournalBytes: *maxJournal,
 	})
 	if err != nil {
 		return err

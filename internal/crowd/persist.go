@@ -93,6 +93,38 @@ func (r *Runner) AppendLabels(w io.Writer) (int, error) {
 	return n, nil
 }
 
+// DumpLabelLog writes the runner's entire label cache — every entry, not
+// just the dirty set — in the AppendLabels line format, sorted by pair for
+// determinism. It is the compaction form of the label log: feeding the
+// dump back through LoadLabelLog restores the full cache and the full
+// accounting (answers, pairs, cost) bit-identically, so a snapshot built
+// from it can replace an arbitrarily long log prefix. The dirty set is
+// left untouched: dumping is not flushing, and entries mutated since the
+// last append still belong to the next incremental flush. Returns the
+// number of entries written.
+func (r *Runner) DumpLabelLog(w io.Writer) (int, error) {
+	pairs := make([]record.Pair, 0, len(r.cache))
+	for p := range r.cache {
+		pairs = append(pairs, p)
+	}
+	record.SortPairs(pairs)
+	enc := json.NewEncoder(w)
+	for _, p := range pairs {
+		e := r.cache[p]
+		if err := enc.Encode(savedEntry{
+			A:       p.A,
+			B:       p.B,
+			Answers: e.answers,
+			Label:   e.label,
+			Settled: voteState(e),
+			Seed:    e.hasSeed,
+		}); err != nil {
+			return 0, fmt.Errorf("crowd: dump label log: %w", err)
+		}
+	}
+	return len(pairs), nil
+}
+
 // LoadLabelLog replays a label journal written by AppendLabels: one JSON
 // entry per line, later lines superseding earlier ones for the same pair
 // (an entry is re-appended whenever it gains answers or settles harder).

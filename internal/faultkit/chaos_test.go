@@ -121,6 +121,9 @@ type chaosCase struct {
 	name      string
 	transport *Schedule
 	journal   *JournalSchedule
+	// snapshot enables compaction (SnapshotEvery 1) and injects faults at
+	// the snapshot durability boundaries.
+	snapshot *SnapshotSchedule
 }
 
 func TestChaosSchedules(t *testing.T) {
@@ -161,6 +164,20 @@ func TestChaosSchedules(t *testing.T) {
 				Seed: 109, P5xx: 0.02, PDrop: 0.02, PDropAfter: 0.02, PLatency: 0.04,
 				Burst: 3, Latency: 5 * time.Millisecond, Limit: 30},
 			journal: &JournalSchedule{Seed: 109, PTear: 0.015, PKill: 0.015, Limit: 3}},
+		// Compaction chaos: kills at snapshot durability boundaries and
+		// CRC-detectable corruption, with SnapshotEvery 1 so every
+		// checkpoint exercises the snapshot/rotate/prune path.
+		{name: "snap-kill-points",
+			snapshot: &SnapshotSchedule{Seed: 110, PKill: 0.3, Limit: 3}},
+		{name: "snap-kill-mid-rotate",
+			snapshot: &SnapshotSchedule{Seed: 111, PKill: 1,
+				Points: []string{runsvc.SnapPointRotatedLabels}, Limit: 2}},
+		{name: "snap-corrupt-fallback",
+			snapshot: &SnapshotSchedule{Seed: 112, PCorrupt: 0.6, PKill: 0.25,
+				CorruptMinGen: 2, Limit: 4}},
+		{name: "snapshot-plus-journal",
+			journal:  &JournalSchedule{Seed: 113, PTear: 0.015, PKill: 0.015, Limit: 2},
+			snapshot: &SnapshotSchedule{Seed: 113, PKill: 0.25, Limit: 2}},
 	}
 	for i, tc := range cases {
 		tc, caseSeed := tc, int64(i+1)
@@ -199,12 +216,19 @@ func runChaos(t *testing.T, tc chaosCase, meta runsvc.Meta, base *engine.Result,
 		}
 		settled := settledPairs(t, dir, jobID)
 
-		mgr, err := runsvc.NewManager(runsvc.Options{Workers: 1, JournalDir: dir}) //corlint:allow det-time — the journaling service stamps operator-facing submission times; replay correctness never reads them back
+		opts := runsvc.Options{Workers: 1, JournalDir: dir}
+		if tc.snapshot != nil {
+			opts.SnapshotEvery = 1
+		}
+		mgr, err := runsvc.NewManager(opts) //corlint:allow det-time — the journaling service stamps operator-facing submission times; replay correctness never reads them back
 		if err != nil {
 			t.Fatalf("NewManager: %v", err)
 		}
 		if tc.journal != nil {
 			mgr.Store().Faults = tc.journal.FaultFunc()
+		}
+		if tc.snapshot != nil {
+			mgr.Store().SnapFaults = tc.snapshot.FaultFunc()
 		}
 
 		// A fresh client per epoch mirrors a fresh process: new idempotency
@@ -261,6 +285,9 @@ func runChaos(t *testing.T, tc chaosCase, meta runsvc.Meta, base *engine.Result,
 			}
 			if tc.journal != nil && tc.journal.Injected() == 0 {
 				t.Error("journal schedule injected no faults; case proved nothing")
+			}
+			if tc.snapshot != nil && tc.snapshot.Injected() == 0 {
+				t.Error("snapshot schedule injected no faults; case proved nothing")
 			}
 			assertChaosResult(t, res, base)
 			return

@@ -7,6 +7,9 @@
 //     the request), and latency spikes.
 //   - JournalSchedule: a runsvc.FaultFunc injecting torn journal writes
 //     and process kill-points between journal records.
+//   - SnapshotSchedule: a runsvc.SnapFaultFunc injecting kill-points at
+//     snapshot durability boundaries (tmp written, renamed, logs rotated)
+//     and CRC-detectable payload corruption into compaction snapshots.
 //   - FlakyCrowd: a crowd.CrowdErr wrapper injecting per-ask failures and
 //     outage windows without a marketplace in the loop.
 //

@@ -1,0 +1,94 @@
+package faultkit
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/corleone-em/corleone/internal/runsvc"
+)
+
+// SnapshotSchedule is a seeded fault plan for runsvc snapshot writes —
+// the compaction half of the chaos harness. Where JournalSchedule tears
+// individual log lines, this schedule attacks the snapshot lifecycle
+// itself: kill-points at each durability boundary (tmp written, renamed
+// into place, each log rotated) and silent payload corruption (bit rot
+// that the CRC must catch on the next replay, forcing the fallback
+// ladder onto the previous generation). Safe for concurrent use.
+type SnapshotSchedule struct {
+	// Seed feeds the fault stream; equal seeds replay equal decisions.
+	Seed int64
+	// PKill is the per-kill-point probability of crashing the process at
+	// that point. The journal replays from whatever the crash left behind.
+	PKill float64
+	// PCorrupt is the per-snapshot probability of flipping a payload byte
+	// before the checksum-covered body hits disk. The write itself
+	// succeeds; the damage only surfaces when replay validates the CRC.
+	PCorrupt float64
+	// CorruptMinGen suppresses corruption for generations below it.
+	// Corrupting the very first generation leaves no older generation to
+	// fall back to, so replay refuses outright (a dedicated test pins
+	// that); chaos schedules that want the run to converge set this to 2
+	// so every corrupt generation has a valid predecessor.
+	CorruptMinGen uint64
+	// Points, when non-empty, restricts kill injection to these snapshot
+	// kill-points (runsvc.SnapPoint* constants); empty faults every point.
+	Points []string
+	// Limit, when > 0, caps total injected faults so a chaos resume loop
+	// converges.
+	Limit int
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected int
+}
+
+// FaultFunc adapts the schedule to the runsvc snapshot seam
+// (runsvc.Store.SnapFaults). The hook is deterministic in the
+// (seed, kill-point sequence) pair. Corruption is decided once per
+// snapshot at its payload point; kills are decided per point.
+func (ss *SnapshotSchedule) FaultFunc() runsvc.SnapFaultFunc {
+	return func(point string, gen uint64) *runsvc.SnapFault {
+		ss.mu.Lock()
+		defer ss.mu.Unlock()
+		if ss.rng == nil {
+			ss.rng = rand.New(rand.NewSource(ss.Seed))
+		}
+		if ss.Limit > 0 && ss.injected >= ss.Limit {
+			return nil
+		}
+		// Corruption can only be injected while the payload is being
+		// assembled; it rides the same draw stream as kills so schedules
+		// replay byte-for-byte from their seed.
+		if point == runsvc.SnapPointPayload {
+			if ss.rng.Float64() < ss.PCorrupt && gen >= ss.CorruptMinGen {
+				ss.injected++
+				return &runsvc.SnapFault{Corrupt: true}
+			}
+			return nil
+		}
+		if len(ss.Points) > 0 {
+			found := false
+			for _, p := range ss.Points {
+				if p == point {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil
+			}
+		}
+		if ss.rng.Float64() < ss.PKill {
+			ss.injected++
+			return &runsvc.SnapFault{Crash: true}
+		}
+		return nil
+	}
+}
+
+// Injected reports how many snapshot faults have fired so far.
+func (ss *SnapshotSchedule) Injected() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.injected
+}

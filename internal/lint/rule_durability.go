@@ -29,6 +29,10 @@ func (durIgnoredWrite) Doc() string {
 var durMethods = map[string]bool{
 	"Encode": true, "Write": true, "WriteString": true,
 	"Flush": true, "Sync": true, "Close": true,
+	// The snapshot/compaction path installs generations with os.Rename and
+	// trims logs with Truncate; a dropped error there silently loses the
+	// generation (or keeps a stale one) the next replay depends on.
+	"Rename": true, "Truncate": true,
 }
 
 // infallibleWriters always return a nil error by contract.

@@ -38,6 +38,22 @@ func Buffered(w io.Writer) {
 	bw.Flush()          // want dur-ignored-write
 }
 
+// Rotate drops the errors that install a snapshot generation and trim a
+// log; both are flagged — a lost rename keeps replay on a stale
+// generation with no visible failure.
+func Rotate(f *os.File) {
+	os.Rename("labels.jsonl", "labels.g000001.jsonl") // want dur-ignored-write
+	f.Truncate(0)                                     // want dur-ignored-write
+}
+
+// RotateChecked is the legal shape for the same operations.
+func RotateChecked(f *os.File) error {
+	if err := os.Rename("labels.jsonl", "labels.g000001.jsonl"); err != nil {
+		return err
+	}
+	return f.Truncate(0)
+}
+
 // Builder writes to a strings.Builder, which cannot fail; exempt.
 func Builder() string {
 	var b strings.Builder

@@ -1,0 +1,127 @@
+package runsvc
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestAdmissionQueueFullTyped pins the typed overload contract: a bounced
+// submission fails with ErrQueueFull (matchable via errors.Is, so HTTP and
+// callers can map it to 429 without string-scraping) and is counted shed.
+func TestAdmissionQueueFullTyped(t *testing.T) {
+	// No workers and a one-slot queue, so the second enqueue always bounces.
+	m := &Manager{
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, 1),
+		quit:  make(chan struct{}),
+	}
+	meta := testMeta(1, 0.1, 0)
+	if _, err := m.Submit(Spec{Meta: &meta}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	_, err := m.Submit(Spec{Meta: &meta})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second submit err = %v, want ErrQueueFull", err)
+	}
+	if errors.Is(err, ErrDraining) || errors.Is(err, ErrDiskBudget) {
+		t.Errorf("queue-full error matches unrelated sentinels: %v", err)
+	}
+	if got := m.Metrics().SubmitsShed; got != 1 {
+		t.Errorf("SubmitsShed = %d, want 1", got)
+	}
+}
+
+// TestAdmissionDraining: once Drain begins, every new submission and
+// resume is shed with ErrDraining, and the manager reports itself
+// draining so /healthz can flip before the pool stops.
+func TestAdmissionDraining(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(Options{Workers: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	if m.Draining() {
+		t.Fatal("fresh manager reports draining")
+	}
+	// A journaled job so the post-drain resume reaches the admission gate
+	// rather than bouncing on a missing journal.
+	first := testMeta(1, 0.1, 0)
+	j0, err := m.Submit(Spec{Meta: &first})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j0.Wait(); err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	m.Drain()
+	if !m.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	meta := testMeta(1, 0.1, 0)
+	if _, err := m.Submit(Spec{Meta: &meta}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after Drain: err = %v, want ErrDraining", err)
+	}
+	if _, err := m.Resume(j0.ID); !errors.Is(err, ErrDraining) {
+		t.Fatalf("resume after Drain: err = %v, want ErrDraining", err)
+	}
+	metrics := m.Metrics()
+	if !metrics.Draining {
+		t.Error("Metrics.Draining = false after Drain")
+	}
+	if metrics.SubmitsShed < 2 {
+		t.Errorf("SubmitsShed = %d, want >= 2", metrics.SubmitsShed)
+	}
+}
+
+// TestAdmissionDiskBudget: a journal directory at (or over) its byte
+// budget sheds new submissions with ErrDiskBudget, but resumes stay
+// exempt — a resume frees budget by finishing paid work already on disk,
+// so rejecting it would wedge recovery exactly when disk is tight.
+func TestAdmissionDiskBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("disk budget integration test in -short mode")
+	}
+	dir := t.TempDir()
+	meta := testMeta(1, 0.1, 0)
+
+	// Fill the journal with one completed run, unbudgeted.
+	m1, err := NewManager(Options{Workers: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	j1, err := m1.Submit(Spec{Meta: &meta})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j1.Wait(); err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	m1.Close()
+
+	// One byte of budget against a populated directory: every new
+	// submission must shed.
+	m2, err := NewManager(Options{Workers: 1, JournalDir: dir, MaxJournalBytes: 1})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m2.Close()
+	_, err = m2.Submit(Spec{Meta: &meta})
+	if !errors.Is(err, ErrDiskBudget) {
+		t.Fatalf("submit over budget: err = %v, want ErrDiskBudget", err)
+	}
+	if got := m2.Metrics().SubmitsShed; got != 1 {
+		t.Errorf("SubmitsShed = %d, want 1", got)
+	}
+
+	// The resume path is exempt from the same gate.
+	j2, err := m2.Resume(j1.ID)
+	if err != nil {
+		t.Fatalf("resume under exhausted budget: %v", err)
+	}
+	if _, err := j2.Wait(); err != nil {
+		t.Fatalf("resumed job: %v", err)
+	}
+	if j2.State() != StateDone {
+		t.Errorf("resumed job state = %s, want done", j2.State())
+	}
+}

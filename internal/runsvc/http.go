@@ -2,10 +2,20 @@ package runsvc
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 )
+
+// maxSubmitBody caps a POST /jobs request body. A Meta is a few hundred
+// bytes; anything near the cap is malformed or hostile and is rejected
+// with 413 before it can balloon memory.
+const maxSubmitBody = 1 << 20
+
+// retryAfterSeconds is the backoff hint sent with every overload
+// rejection (429/503 + Retry-After).
+const retryAfterSeconds = "5"
 
 // Handler is the HTTP control surface over a Manager:
 //
@@ -16,8 +26,17 @@ import (
 //	POST /jobs/{id}/resume    resume a journaled job in this process
 //	GET  /jobs/{id}/events    NDJSON event stream (history, then live)
 //	GET  /journal             list journaled job ids (including past runs)
-//	GET  /healthz             200 "ok" while the service accepts work
+//	GET  /healthz             200 "ok" while the service accepts work;
+//	                          503 "draining" once Manager.Drain begins
 //	GET  /metrics             Metrics snapshot as JSON
+//
+// Admission-control contract: overload is signaled, never hidden. A full
+// queue or exhausted journal disk budget rejects the submit (or resume)
+// with 429 Too Many Requests and a Retry-After header — the caller should
+// back off and retry the identical request. A draining manager rejects
+// with 503 Service Unavailable + Retry-After, and /healthz flips to 503
+// "draining" so load balancers stop routing here before the pool stops.
+// Oversized submit bodies get 413.
 //
 // Styled after internal/platform: stdlib mux, JSON in/out, no deps.
 func Handler(m *Manager) http.Handler {
@@ -25,6 +44,11 @@ func Handler(m *Manager) http.Handler {
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if m.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining") //nolint:errcheck // best-effort health reply
+			return
+		}
 		fmt.Fprintln(w, "ok") //nolint:errcheck // best-effort health reply
 	})
 
@@ -40,7 +64,14 @@ func Handler(m *Manager) http.Handler {
 		switch r.Method {
 		case http.MethodPost:
 			var meta Meta
-			if err := json.NewDecoder(r.Body).Decode(&meta); err != nil {
+			body := http.MaxBytesReader(w, r.Body, maxSubmitBody)
+			if err := json.NewDecoder(body).Decode(&meta); err != nil {
+				var tooBig *http.MaxBytesError
+				if errors.As(err, &tooBig) {
+					httpError(w, http.StatusRequestEntityTooLarge,
+						"request body exceeds %d bytes", tooBig.Limit)
+					return
+				}
 				httpError(w, http.StatusBadRequest, "decode meta: %v", err)
 				return
 			}
@@ -51,7 +82,7 @@ func Handler(m *Manager) http.Handler {
 			}
 			j, err := m.Submit(spec)
 			if err != nil {
-				httpError(w, http.StatusServiceUnavailable, "%v", err)
+				overloadError(w, err)
 				return
 			}
 			writeJSON(w, http.StatusAccepted, j.Status())
@@ -92,6 +123,10 @@ func Handler(m *Manager) http.Handler {
 		case action == "resume" && r.Method == http.MethodPost:
 			j, err := m.Resume(id)
 			if err != nil {
+				if isOverload(err) {
+					overloadError(w, err)
+					return
+				}
 				httpError(w, http.StatusConflict, "%v", err)
 				return
 			}
@@ -164,4 +199,27 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 
 func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// isOverload reports whether err is one of the admission-control
+// sentinels the overload contract covers.
+func isOverload(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDiskBudget) || errors.Is(err, ErrDraining)
+}
+
+// overloadError maps an admission rejection to its HTTP shape: transient
+// back-pressure (full queue, disk budget) is 429 Too Many Requests,
+// shutdown (draining) is 503 Service Unavailable, anything else falls
+// back to plain 503. Every overload reply carries Retry-After — the
+// caller's contract is to back off and retry the identical request.
+func overloadError(w http.ResponseWriter, err error) {
+	code := http.StatusServiceUnavailable
+	switch {
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDiskBudget):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	httpError(w, code, "%v", err)
 }

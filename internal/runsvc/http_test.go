@@ -193,3 +193,94 @@ func TestHTTPCancel(t *testing.T) {
 		t.Fatalf("cancel unknown job: status %d, want 404", r.StatusCode)
 	}
 }
+
+// TestHTTPOverload pins the 429 contract: a submit that lands on a full
+// queue is rejected with 429 Too Many Requests and a Retry-After header,
+// so well-behaved clients back off instead of treating overload as a
+// permanent failure.
+func TestHTTPOverload(t *testing.T) {
+	// No workers and a one-slot queue: the second submit always bounces.
+	m := &Manager{
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, 1),
+		quit:  make(chan struct{}),
+	}
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	meta := Meta{Profile: "restaurants", Scale: 0.1, ErrorRate: 0.1, Seed: 1}
+	if r := postJSON(t, srv.URL+"/jobs", meta); r.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d, want 202", r.StatusCode)
+	}
+	resp := postJSON(t, srv.URL+"/jobs", meta)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit into full queue: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+
+	// Oversized bodies are cut off with 413 before they can balloon
+	// memory: well-formed JSON whose one string field overshoots the cap,
+	// so the decoder is still hungry when MaxBytesReader slams the door.
+	big := []byte(`{"profile":"` + strings.Repeat("x", maxSubmitBody+1) + `"}`)
+	hr, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatalf("POST oversized body: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized submit: status %d, want 413", hr.StatusCode)
+	}
+}
+
+// TestHTTPHealthzDraining: /healthz flips from 200 "ok" to 503 "draining"
+// once Drain begins, and post-drain submits get 503 + Retry-After — the
+// load balancer signal and the client signal stay consistent.
+func TestHTTPHealthzDraining(t *testing.T) {
+	m, err := NewManager(Options{Workers: 1, JournalDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	readBody := func(r *http.Response) string {
+		t.Helper()
+		defer r.Body.Close()
+		var sb strings.Builder
+		if _, err := bufio.NewReader(r.Body).WriteTo(&sb); err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		return strings.TrimSpace(sb.String())
+	}
+
+	r, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	if body := readBody(r); r.StatusCode != http.StatusOK || body != "ok" {
+		t.Fatalf("healthz before drain: %d %q, want 200 ok", r.StatusCode, body)
+	}
+
+	m.Drain()
+
+	r, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	if body := readBody(r); r.StatusCode != http.StatusServiceUnavailable || body != "draining" {
+		t.Fatalf("healthz after drain: %d %q, want 503 draining", r.StatusCode, body)
+	}
+
+	meta := Meta{Profile: "restaurants", Scale: 0.1, ErrorRate: 0.1, Seed: 1}
+	resp := postJSON(t, srv.URL+"/jobs", meta)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("draining rejection missing Retry-After header")
+	}
+}

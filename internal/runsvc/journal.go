@@ -1,8 +1,6 @@
 package runsvc
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,7 +13,6 @@ import (
 
 	"github.com/corleone-em/corleone/internal/crowd"
 	"github.com/corleone-em/corleone/internal/engine"
-	"github.com/corleone-em/corleone/internal/record"
 )
 
 // Journal layout, one directory per job under the store root:
@@ -26,12 +23,20 @@ import (
 //	checkpoints.jsonl  append-only phase/cost records
 //	model_iterNN.json  per-iteration matcher snapshot (forest.Save)
 //	status.json        terminal status record, written atomically at the end
+//	snap-gNNNNNN.snap  checksummed compaction snapshot (see snapshot.go)
+//	labels.gNNNNNN.jsonl, batches.gNNNNNN.jsonl
+//	                   log segments rotated out when generation N was written
 //
 // labels.jsonl and batches.jsonl are the resume-critical pair: labels make
 // settled questions free (and restore their paid accounting), batches make
 // replayed HIT packing exact. Both are flushed (written + synced) at crowd
 // batch boundaries, so a hard kill loses at most the in-flight batch; a
 // torn trailing line such a kill may leave is truncated away on Open.
+// With compaction enabled (Store.SnapshotEvery > 0) checkpoint boundaries
+// fold the logs into generation snapshots and rotate the live files, so
+// replay reads O(records since the last snapshot) log bytes instead of the
+// job's whole history; checkpoints.jsonl is never rotated — it is small
+// and its full history backs Checkpoints().
 
 // Store manages the journal root directory.
 type Store struct {
@@ -43,14 +48,86 @@ type Store struct {
 	// journal copies the hook at open time.
 	Faults FaultFunc
 
+	// SnapFaults, when non-nil, intercepts the snapshot write path at its
+	// kill/corruption points (see SnapFaultFunc in snapshot.go). Chaos/test
+	// use only. Set it before Open, like Faults.
+	SnapFaults SnapFaultFunc
+
+	// SnapshotEvery enables log compaction: every Nth checkpoint the
+	// journal writes a generation snapshot and rotates the live logs
+	// (snapshot.go). 0 disables compaction — the journal behaves as an
+	// unbounded append-only log, the pre-snapshot format. Set before Open.
+	SnapshotEvery int
+
 	// bytes counts bytes successfully appended to journal line files
 	// across all jobs since the store was opened (served by /metrics).
 	bytes atomic.Int64
+
+	// Replay-cost instrumentation: bytesRead counts every journal byte
+	// Replay consumed (snapshots + logs); logBytesRead counts only the
+	// line-log share — the quantity compaction bounds to O(records since
+	// the last snapshot).
+	bytesRead    atomic.Int64
+	logBytesRead atomic.Int64
+
+	// Snapshot counters: generations written, their total size, and how
+	// often Replay had to fall back past an invalid generation.
+	snaps         atomic.Int64
+	snapBytes     atomic.Int64
+	snapFallbacks atomic.Int64
 }
 
 // BytesWritten reports bytes appended to journal line files (labels,
 // batches, checkpoints) across all of the store's journals this process.
 func (s *Store) BytesWritten() int64 { return s.bytes.Load() }
+
+// BytesRead reports journal bytes consumed by Replay across all of the
+// store's journals this process — snapshot files plus log suffixes.
+func (s *Store) BytesRead() int64 { return s.bytesRead.Load() }
+
+// LogBytesRead reports only the line-log bytes consumed by Replay. With
+// compaction enabled this is the O(records since last snapshot) quantity;
+// the remainder of BytesRead is snapshot payload, which is O(state), not
+// O(history).
+func (s *Store) LogBytesRead() int64 { return s.logBytesRead.Load() }
+
+// SnapshotsWritten reports generation snapshots written this process.
+func (s *Store) SnapshotsWritten() int64 { return s.snaps.Load() }
+
+// SnapshotBytes reports total snapshot bytes written this process.
+func (s *Store) SnapshotBytes() int64 { return s.snapBytes.Load() }
+
+// SnapshotFallbacks reports how many invalid snapshot generations Replay
+// skipped past (checksum mismatch, torn file) this process.
+func (s *Store) SnapshotFallbacks() int64 { return s.snapFallbacks.Load() }
+
+// DiskUsage walks the store root and returns the total journal bytes on
+// disk. Serves the Manager's per-submit disk-budget admission check and
+// the boundedness tests; files racing with deletion are skipped.
+func (s *Store) DiskUsage() (int64, error) {
+	var total int64
+	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	return total, err
+}
 
 // WriteFault describes one injected journal-append fault, the disk-side
 // half of the faultkit chaos harness.
@@ -181,8 +258,25 @@ func (s *Store) Open(id string) (*Journal, error) {
 			return nil, fmt.Errorf("runsvc: journal %s: repair %s: %w", id, name, err)
 		}
 	}
-	j := &Journal{dir: dir}
-	var err error
+	// A crash between snapshot tmp-write and rename leaves an orphaned tmp
+	// file; it was never referenced, so it is garbage, not state.
+	if err := removeStaleSnapTmps(dir); err != nil {
+		return nil, fmt.Errorf("runsvc: journal %s: sweep snapshot tmps: %w", id, err)
+	}
+	// The generation floor: snapshot numbering continues above every
+	// generation any file on disk references, so a superseded or corrupt
+	// generation's number is never reused.
+	_, maxGen, err := scanGenerations(dir)
+	if err != nil {
+		return nil, fmt.Errorf("runsvc: journal %s: scan generations: %w", id, err)
+	}
+	j := &Journal{
+		dir:        dir,
+		store:      s,
+		snapGen:    maxGen,
+		snapEvery:  s.SnapshotEvery,
+		snapFaults: s.SnapFaults,
+	}
 	appendFlags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if j.labels, err = os.OpenFile(filepath.Join(dir, "labels.jsonl"), appendFlags, 0o644); err != nil {
 		return nil, err
@@ -209,15 +303,18 @@ func (s *Store) Open(id string) (*Journal, error) {
 // executor goroutine running the job; no locking needed.
 type Journal struct {
 	dir     string
+	store   *Store // counters + fault hooks; nil only in direct-construction tests
 	labels  *os.File
 	batches *os.File
 	checks  *os.File
 
 	// labelsW/batchesW/checksW wrap the files with the store's fault hook;
 	// every line append goes through them (Sync still hits the files).
-	labelsW  io.Writer
-	batchesW io.Writer
-	checksW  io.Writer
+	// Rotation swaps the underlying *os.File in place, so fault injection
+	// and byte accounting survive compaction.
+	labelsW  *faultWriter
+	batchesW *faultWriter
+	checksW  *faultWriter
 
 	// batchesWritten counts appendBatch calls; failAfterBatches, when
 	// positive, makes the journal panic after that many batch appends —
@@ -225,6 +322,21 @@ type Journal struct {
 	// flush boundary.
 	batchesWritten   int
 	failAfterBatches int
+
+	// Compaction state (snapshot.go). snapGen is the numbering floor from
+	// Open's directory scan, advanced by each snapshot written; batchLog
+	// mirrors every batch record of the job's history in memory (snapshot +
+	// suffix on resume, appends live) so a snapshot can embed it; batchSeq
+	// is the newest batch sequence number; appendedSinceSnap gates
+	// snapshotting so an idle checkpoint doesn't rewrite identical state.
+	snapGen           uint64
+	snapEvery         int
+	snapFaults        SnapFaultFunc
+	batchLog          []batchRecord
+	batchSeq          int
+	appendedSinceSnap bool
+	checkpointsSeen   int
+	lastSnap          SnapshotInfo
 }
 
 // crashSentinel is the panic value used by crash injection.
@@ -349,6 +461,7 @@ func (j *Journal) FlushLabels(r *crowd.Runner) error {
 	if n == 0 {
 		return nil
 	}
+	j.appendedSinceSnap = true
 	return j.labels.Sync()
 }
 
@@ -356,9 +469,15 @@ func (j *Journal) FlushLabels(r *crowd.Runner) error {
 // composition plus the runner's cumulative HIT count at record time. The
 // HIT count lets Replay restore Accounting.HITs — replayed batches serve
 // from cache and never re-post HITs, so the counter cannot be recounted.
+// Seq is the batch's position in the job's whole history (1-based); a
+// snapshot records the highest sequence it covers, so replay can skip log
+// lines the snapshot already holds when a crash lands between the
+// snapshot rename and the log rotation. Lines written before compaction
+// existed carry no Seq and are assigned synthetic ones in file order.
 type batchRecord struct {
 	Pairs [][2]int32 `json:"p"`
 	HITs  int        `json:"hits,omitempty"`
+	Seq   int        `json:"s,omitempty"`
 }
 
 // AppendBatch records one training batch's composition, then flushes the
@@ -369,7 +488,11 @@ type batchRecord struct {
 // batch record, and a resumed run would find those pairs cached and pack
 // HITs differently than the journaled history.
 func (j *Journal) AppendBatch(r *crowd.Runner, batch []crowd.Labeled) error {
-	line := batchRecord{Pairs: make([][2]int32, len(batch)), HITs: r.Stats().HITs}
+	line := batchRecord{
+		Pairs: make([][2]int32, len(batch)),
+		HITs:  r.Stats().HITs,
+		Seq:   j.batchSeq + 1,
+	}
 	for i, l := range batch {
 		line.Pairs[i] = [2]int32{l.Pair.A, l.Pair.B}
 	}
@@ -379,6 +502,11 @@ func (j *Journal) AppendBatch(r *crowd.Runner, batch []crowd.Labeled) error {
 	if err := j.batches.Sync(); err != nil {
 		return err
 	}
+	// The line is durable; mirror it in the in-memory batch log the next
+	// snapshot will embed.
+	j.batchSeq++
+	j.batchLog = append(j.batchLog, line)
+	j.appendedSinceSnap = true
 	if err := j.FlushLabels(r); err != nil {
 		return err
 	}
@@ -403,6 +531,9 @@ type checkpointRecord struct {
 // Checkpoint flushes labels and appends a phase/cost record; on iteration
 // boundaries it also snapshots the matcher with forest serialization, so
 // the best model so far survives a crash in a directly loadable form.
+// With compaction enabled (Store.SnapshotEvery > 0) every Nth checkpoint
+// additionally folds the logs into a generation snapshot and rotates them
+// (snapshot.go), keeping replay cost and directory size bounded.
 func (j *Journal) Checkpoint(r *crowd.Runner, cp engine.Checkpoint) error {
 	if err := j.FlushLabels(r); err != nil {
 		return err
@@ -437,6 +568,12 @@ func (j *Journal) Checkpoint(r *crowd.Runner, cp engine.Checkpoint) error {
 			return err
 		}
 	}
+	j.checkpointsSeen++
+	if j.snapEvery > 0 && j.checkpointsSeen%j.snapEvery == 0 && j.appendedSinceSnap {
+		if _, err := j.Snapshot(r, cp); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -461,72 +598,6 @@ func (j *Journal) Checkpoints() ([]checkpointRecord, error) {
 		out = append(out, rec)
 	}
 	return out, nil
-}
-
-// Replay loads the journal into a fresh runner: the label log (settled
-// questions become free, and their paid accounting is restored so budget
-// caps span resumes) and the batch log (recorded packing replays verbatim,
-// with the journaled cumulative HIT count restored). A malformed final
-// batch line — a torn tail from a hard kill — is tolerated and dropped;
-// malformed data mid-log is corruption and fails the replay. Returns the
-// number of labels and batches loaded.
-func (j *Journal) Replay(r *crowd.Runner) (labels, batches int, err error) {
-	lf, err := os.Open(filepath.Join(j.dir, "labels.jsonl"))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return 0, 0, nil
-		}
-		return 0, 0, err
-	}
-	labels, err = r.LoadLabelLog(lf)
-	//corlint:allow dur-ignored-write — read-only handle; nothing buffered to lose
-	lf.Close()
-	if err != nil {
-		return labels, 0, fmt.Errorf("runsvc: replay labels: %w", err)
-	}
-
-	bf, err := os.Open(filepath.Join(j.dir, "batches.jsonl"))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return labels, 0, nil
-		}
-		return labels, 0, err
-	}
-	//corlint:allow dur-ignored-write — read-only handle; nothing buffered to lose
-	defer bf.Close()
-	var recs [][]record.Pair
-	hits := 0
-	torn := false
-	sc := bufio.NewScanner(bf)
-	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		if torn {
-			return labels, len(recs), fmt.Errorf("runsvc: replay batches: malformed line followed by more data")
-		}
-		var rec batchRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			torn = true
-			continue
-		}
-		ps := make([]record.Pair, len(rec.Pairs))
-		for i, ab := range rec.Pairs {
-			ps[i] = record.Pair{A: ab[0], B: ab[1]}
-		}
-		recs = append(recs, ps)
-		if rec.HITs > hits {
-			hits = rec.HITs
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return labels, len(recs), fmt.Errorf("runsvc: replay batches: %w", err)
-	}
-	r.QueueReplayBatches(recs)
-	r.RestoreHITs(hits)
-	return labels, len(recs), nil
 }
 
 // StatusRecord is the terminal state written to status.json.

@@ -1,12 +1,30 @@
 package runsvc
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/corleone-em/corleone/internal/crowd"
 	"github.com/corleone-em/corleone/internal/engine"
 	"github.com/corleone-em/corleone/internal/shard"
+)
+
+// Admission-control sentinels. Submit/Resume reject with errors matching
+// these (via errors.Is) when the service is overloaded or shutting down;
+// the HTTP layer maps them to 429/503 with Retry-After so callers back
+// off instead of failing opaquely.
+var (
+	// ErrQueueFull: the job queue is at capacity. Transient — retry after
+	// backoff.
+	ErrQueueFull = errors.New("runsvc: queue full")
+	// ErrDraining: the manager is draining (graceful shutdown) or closed
+	// and accepts no new work.
+	ErrDraining = errors.New("runsvc: draining, not accepting jobs")
+	// ErrDiskBudget: the journal store has reached Options.MaxJournalBytes;
+	// new submissions are shed until compaction or cleanup frees space.
+	ErrDiskBudget = errors.New("runsvc: journal disk budget exhausted")
 )
 
 // State is a job's lifecycle state.
@@ -58,6 +76,16 @@ type Options struct {
 	// path (0 = automatic; 1 = one round trip per task, the PR 6 wire
 	// behavior). Output is bit-identical at every setting.
 	ShardBatch int
+	// SnapshotEvery enables journal compaction: every Nth checkpoint each
+	// job's journal is folded into a generation snapshot and its live logs
+	// are rotated, bounding replay cost and directory size. 0 disables
+	// compaction (the pre-snapshot append-only behavior).
+	SnapshotEvery int
+	// MaxJournalBytes, when positive, sheds new submissions (ErrDiskBudget)
+	// once the journal store's on-disk size reaches this budget. Resumes
+	// are exempt: finishing a paid-for job frees space, rejecting it
+	// strands the spend. 0 means unlimited.
+	MaxJournalBytes int64
 }
 
 // Manager runs Corleone jobs on a bounded executor pool, journaling each
@@ -75,6 +103,14 @@ type Manager struct {
 	queue chan *Job
 	quit  chan struct{}
 	wg    sync.WaitGroup
+
+	// draining flips once Drain begins, before any job is canceled, so
+	// /healthz reports 503 and new submissions shed while in-flight jobs
+	// wind down. maxJournalBytes is Options.MaxJournalBytes; submitsShed
+	// counts admission rejections (queue, disk, drain) for /metrics.
+	draining        atomic.Bool
+	maxJournalBytes int64
+	submitsShed     atomic.Int64
 
 	// shardEndpoints is Options.ShardEndpoints; shardBatch is
 	// Options.ShardBatch; shardStats accumulates shard task dispatch/retry
@@ -97,17 +133,19 @@ func NewManager(opts Options) (*Manager, error) {
 		opts.QueueDepth = 1024
 	}
 	m := &Manager{
-		jobs:           make(map[string]*Job),
-		queue:          make(chan *Job, opts.QueueDepth),
-		quit:           make(chan struct{}),
-		shardEndpoints: opts.ShardEndpoints,
-		shardBatch:     opts.ShardBatch,
+		jobs:            make(map[string]*Job),
+		queue:           make(chan *Job, opts.QueueDepth),
+		quit:            make(chan struct{}),
+		shardEndpoints:  opts.ShardEndpoints,
+		shardBatch:      opts.ShardBatch,
+		maxJournalBytes: opts.MaxJournalBytes,
 	}
 	if opts.JournalDir != "" {
 		store, err := NewStore(opts.JournalDir)
 		if err != nil {
 			return nil, err
 		}
+		store.SnapshotEvery = opts.SnapshotEvery
 		m.store = store
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -146,19 +184,33 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 }
 
-// Drain is the graceful-shutdown path: it requests cancellation of every
+// Drain is the graceful-shutdown path: it marks the manager draining (new
+// submissions shed with ErrDraining, /healthz flips to 503 so load
+// balancers stop routing here), requests cancellation of every
 // non-terminal job, then stops the executor pool and waits for in-flight
 // jobs to finish. A canceled running job stops at its next crowd batch
 // with every paid label flushed to its journal; a job still queued never
 // starts, but its spec was journaled at submission, so a fresh process
 // resumes it by id. Safe to call more than once.
 func (m *Manager) Drain() {
+	m.draining.Store(true)
 	for _, j := range m.Jobs() {
 		if !j.State().Terminal() {
 			j.Cancel()
 		}
 	}
 	m.Close()
+}
+
+// Draining reports whether Drain has begun (or the manager is closed):
+// the service should be taken out of rotation and submissions are shed.
+func (m *Manager) Draining() bool {
+	if m.draining.Load() {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
 }
 
 // Metrics is the point-in-time operational summary served at /metrics.
@@ -180,6 +232,17 @@ type Metrics struct {
 	// BytesJournaled counts bytes appended across all journal files (0
 	// when journaling is disabled).
 	BytesJournaled int64 `json:"bytes_journaled"`
+	// Snapshot/compaction counters: generations written, their total
+	// size, invalid generations Replay skipped past, and journal bytes
+	// Replay consumed (snapshots + log suffixes).
+	SnapshotsWritten  int64 `json:"snapshots_written"`
+	SnapshotBytes     int64 `json:"snapshot_bytes"`
+	SnapshotFallbacks int64 `json:"snapshot_fallbacks"`
+	BytesReplayed     int64 `json:"bytes_replayed"`
+	// Admission control: submissions shed (queue full, disk budget,
+	// draining) and whether the manager is draining.
+	SubmitsShed int64 `json:"submits_shed"`
+	Draining    bool  `json:"draining"`
 }
 
 // Metrics snapshots the manager's counters.
@@ -207,7 +270,13 @@ func (m *Manager) Metrics() Metrics {
 	out.ShardBytesReceived = m.shardStats.BytesReceived.Load()
 	if m.store != nil {
 		out.BytesJournaled = m.store.BytesWritten()
+		out.SnapshotsWritten = m.store.SnapshotsWritten()
+		out.SnapshotBytes = m.store.SnapshotBytes()
+		out.SnapshotFallbacks = m.store.SnapshotFallbacks()
+		out.BytesReplayed = m.store.BytesRead()
 	}
+	out.SubmitsShed = m.submitsShed.Load()
+	out.Draining = m.Draining()
 	return out
 }
 
@@ -283,12 +352,29 @@ func (m *Manager) resumeSpec(id string, spec Spec) (*Job, error) {
 // submissions (one is allocated) and fixed for resumes. When a store is
 // configured, a new submission's spec record is journaled here, before the
 // job ever runs, so a job still queued at shutdown is resumable by a fresh
-// process.
+// process. Admission control happens here: a draining/closed manager, an
+// exhausted journal disk budget (new submissions only), and a full queue
+// each reject with their typed sentinel.
 func (m *Manager) enqueue(spec Spec, id string, resume bool) (*Job, error) {
+	if m.draining.Load() {
+		m.submitsShed.Add(1)
+		return nil, ErrDraining
+	}
+	if !resume && m.store != nil && m.maxJournalBytes > 0 {
+		usage, err := m.store.DiskUsage()
+		if err != nil {
+			return nil, fmt.Errorf("runsvc: disk budget check: %w", err)
+		}
+		if usage >= m.maxJournalBytes {
+			m.submitsShed.Add(1)
+			return nil, fmt.Errorf("%w: %d of %d bytes used", ErrDiskBudget, usage, m.maxJournalBytes)
+		}
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("runsvc: manager closed")
+		m.submitsShed.Add(1)
+		return nil, fmt.Errorf("manager closed: %w", ErrDraining)
 	}
 	if id == "" {
 		for {
@@ -360,7 +446,8 @@ func (m *Manager) enqueue(spec Spec, id string, resume bool) (*Job, error) {
 		if m.store != nil && !resume {
 			_ = m.store.Remove(id)
 		}
-		return nil, fmt.Errorf("runsvc: queue full")
+		m.submitsShed.Add(1)
+		return nil, ErrQueueFull
 	}
 }
 
@@ -486,10 +573,19 @@ func (m *Manager) execute(j *Job) {
 			userListener(e)
 		}
 	}
+	var lastSnapGen uint64
 	cfg.Checkpoint = func(cp engine.Checkpoint) {
 		if jl != nil {
 			if err := jl.Checkpoint(runner, cp); err != nil {
 				j.journalFail(err)
+			}
+			// Compaction is observable: each new snapshot generation
+			// publishes a "compact" progress event with its shape.
+			if info := jl.LastSnapshot(); info.Gen > lastSnapGen {
+				lastSnapGen = info.Gen
+				j.publishProgress("compact", fmt.Sprintf(
+					"snapshot g%06d: %d labels, %d batches, %d bytes",
+					info.Gen, info.Labels, info.Batches, info.Bytes), runner)
 			}
 		}
 		j.publishCheckpoint(cp)

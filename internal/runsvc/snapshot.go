@@ -1,0 +1,779 @@
+package runsvc
+
+// Snapshot & compaction layer (DESIGN.md "Snapshot & compaction
+// lifecycle"). At checkpoint boundaries the journal folds its whole
+// resume-critical state — the full label cache, every training-batch
+// record, the restored accounting, and the newest matcher — into one
+// generation-numbered, CRC-checksummed snapshot file, then rotates the
+// live label/batch logs so replay cost is O(records since the last
+// snapshot) instead of O(job lifetime).
+//
+// A snapshot file is one JSON header line (generation, section line
+// counts, accounting at snapshot time, payload length, CRC-32) followed
+// by the payload: the label section (full cache in label-log line
+// format), the batch section (every batchRecord so far, sequence-
+// numbered), and the raw bytes of the newest matcher model. The CRC
+// covers the whole payload, so a torn write or a flipped bit anywhere in
+// it is detected at load time and the replay ladder falls back one
+// generation.
+//
+// Durability order per generation N: payload → tmp file → fsync → rename
+// to snap-gN.snap → dir fsync → rotate labels.jsonl to labels.gN.jsonl →
+// rotate batches.jsonl → dir fsync → prune. Every window is crash-safe:
+//   - killed before the rename: only an orphaned tmp file exists; Open
+//     sweeps it and the previous generation (or the full log) is
+//     authoritative.
+//   - killed between rename and rotation: the live logs still hold
+//     records the snapshot already covers. Label lines are cumulative per
+//     pair (over-replay converges to the same entry at zero extra cost)
+//     and batch lines carry sequence numbers (over-replay is skipped by
+//     seq), so replaying the overlap on top of the snapshot is exact.
+//   - killed mid-rotation: one log rotated, the other not — the same two
+//     overlap rules make the mixed state exact.
+//   - a corrupted generation fails its CRC and the ladder falls back to
+//     the previous generation plus its longer log suffix.
+//
+// Retention is two generations deep: after generation N lands, snapshots
+// older than N-1 are deleted, along with log segments already covered by
+// both kept generations and all but the two newest matcher model files.
+// Directory size is therefore bounded by O(live state), not O(history).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/engine"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// Snapshot-path kill/corruption points, in execution order. A
+// SnapFaultFunc hook (Store.SnapFaults) is consulted at each;
+// faultkit.SnapshotSchedule derives deterministic schedules over them.
+const (
+	// SnapPointPayload fires before the tmp file is written. A Crash here
+	// kills the process with nothing on disk; a Corrupt flips one payload
+	// byte after the checksum was computed, so the generation lands on
+	// disk whole but invalid (bit-rot injection).
+	SnapPointPayload = "payload"
+	// SnapPointTmp fires after the tmp file is written and synced, before
+	// the rename — a crash here leaves an orphaned tmp only.
+	SnapPointTmp = "tmp-written"
+	// SnapPointRenamed fires after the snapshot rename, before any log
+	// rotation — a crash here leaves live logs overlapping the snapshot.
+	SnapPointRenamed = "renamed"
+	// SnapPointRotatedLabels fires between the label-log and batch-log
+	// rotations — the mid-rotation (mid-truncate) crash window.
+	SnapPointRotatedLabels = "rotated-labels"
+	// SnapPointRotated fires after both rotations, before pruning.
+	SnapPointRotated = "rotated"
+)
+
+// SnapFault describes one injected snapshot-path fault.
+type SnapFault struct {
+	// Crash panics with the crash sentinel at the point, simulating a
+	// process kill there.
+	Crash bool
+	// Corrupt, honored only at SnapPointPayload, flips one byte of the
+	// payload after the checksum is computed: the generation is written
+	// whole but fails validation on load.
+	Corrupt bool
+}
+
+// SnapFaultFunc decides the fault for one snapshot point of one
+// generation. Implementations must be deterministic (faultkit derives
+// them from seeds) so every chaos failure replays. Nil means no fault.
+type SnapFaultFunc func(point string, gen uint64) *SnapFault
+
+// SnapshotInfo describes a journal's newest written snapshot.
+type SnapshotInfo struct {
+	Gen     uint64
+	Bytes   int64
+	Labels  int
+	Batches int
+}
+
+// snapHeader is the first line of a snapshot file. PayloadBytes and CRC
+// validate the payload; the accounting fields cross-check what loading
+// the label section restores, so a writer/loader logic divergence fails
+// loudly instead of resuming with silently wrong spend.
+type snapHeader struct {
+	Gen      uint64  `json:"gen"`
+	Labels   int     `json:"labels"`
+	Batches  int     `json:"batches"`
+	BatchSeq int     `json:"batch_seq"`
+	Answers  int     `json:"answers"`
+	Pairs    int     `json:"pairs"`
+	Cost     float64 `json:"cost"`
+	HITs     int     `json:"hits"`
+	// ModelBytes of raw matcher-model bytes follow the batch section (0
+	// when no iteration has trained a matcher yet).
+	ModelBytes   int    `json:"model_bytes"`
+	PayloadBytes int    `json:"payload_bytes"`
+	CRC          uint32 `json:"crc"`
+}
+
+const (
+	snapPrefix    = "snap-g"
+	snapSuffix    = ".snap"
+	snapTmpPrefix = ".tmp-snap-"
+)
+
+func snapName(gen uint64) string { return fmt.Sprintf("%s%06d%s", snapPrefix, gen, snapSuffix) }
+
+func segName(base string, gen uint64) string {
+	return fmt.Sprintf("%s.g%06d.jsonl", base, gen)
+}
+
+// parseSnapGen extracts the generation from a snapshot file name.
+func parseSnapGen(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	gen, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil || mid == "" {
+		return 0, false
+	}
+	return gen, true
+}
+
+// parseSegGen extracts the generation from a rotated log-segment name
+// such as "labels.g000007.jsonl".
+func parseSegGen(name, base string) (uint64, bool) {
+	pre, suf := base+".g", ".jsonl"
+	if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, pre), suf)
+	gen, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil || mid == "" {
+		return 0, false
+	}
+	return gen, true
+}
+
+// scanGenerations lists the journal dir's snapshot generations (ascending)
+// and the highest generation number referenced by any snapshot or segment
+// file — the floor for numbering the next generation, so a corrupt or
+// superseded generation's number is never reused.
+func scanGenerations(dir string) (snaps []uint64, maxGen uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if gen, ok := parseSnapGen(name); ok {
+			snaps = append(snaps, gen)
+			if gen > maxGen {
+				maxGen = gen
+			}
+		}
+		for _, base := range []string{"labels", "batches"} {
+			if gen, ok := parseSegGen(name, base); ok && gen > maxGen {
+				maxGen = gen
+			}
+		}
+	}
+	sort.Slice(snaps, func(i, k int) bool { return snaps[i] < snaps[k] })
+	return snaps, maxGen, nil
+}
+
+// removeStaleSnapTmps deletes orphaned snapshot tmp files a crash between
+// tmp-write and rename left behind. Called from Store.Open, where the job
+// is known not to be running.
+func removeStaleSnapTmps(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), snapTmpPrefix) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// snapFault consults the store's snapshot fault hook; nil-safe.
+func (j *Journal) snapFault(point string, gen uint64) *SnapFault {
+	if j.snapFaults == nil {
+		return nil
+	}
+	return j.snapFaults(point, gen)
+}
+
+// snapKillPoint panics with the crash sentinel when the schedule injects
+// a kill at this point. The panic unwinds through engine.Run into
+// execute's recover, which finishes the job as crashed — the same path a
+// real process kill exercises on resume.
+func (j *Journal) snapKillPoint(point string, gen uint64) {
+	if f := j.snapFault(point, gen); f != nil && f.Crash {
+		panic(crashSentinel{})
+	}
+}
+
+// Snapshot writes the next generation: the runner's full label cache, the
+// cumulative batch log, and the newest matcher model, checksummed and
+// installed atomically; then rotates the live logs and prunes generations
+// the two-deep fallback ladder no longer needs. cp supplies the matcher
+// trained at this checkpoint (its Forest may be nil outside iteration
+// boundaries, in which case the newest journaled model is embedded).
+func (j *Journal) Snapshot(r *crowd.Runner, cp engine.Checkpoint) (SnapshotInfo, error) {
+	gen := j.snapGen + 1
+
+	var payload bytes.Buffer
+	nLabels, err := r.DumpLabelLog(&payload)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("runsvc: snapshot g%d: %w", gen, err)
+	}
+	enc := json.NewEncoder(&payload)
+	for _, b := range j.batchLog {
+		if err := enc.Encode(b); err != nil {
+			return SnapshotInfo{}, fmt.Errorf("runsvc: snapshot g%d: encode batch: %w", gen, err)
+		}
+	}
+	modelBytes, err := j.matcherState(cp)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("runsvc: snapshot g%d: matcher state: %w", gen, err)
+	}
+	payload.Write(modelBytes)
+
+	st := r.Stats()
+	hdr := snapHeader{
+		Gen:          gen,
+		Labels:       nLabels,
+		Batches:      len(j.batchLog),
+		BatchSeq:     j.batchSeq,
+		Answers:      st.Answers,
+		Pairs:        st.Pairs,
+		Cost:         st.Cost,
+		HITs:         st.HITs,
+		ModelBytes:   len(modelBytes),
+		PayloadBytes: payload.Len(),
+		CRC:          crc32.ChecksumIEEE(payload.Bytes()),
+	}
+	body := payload.Bytes()
+	if f := j.snapFault(SnapPointPayload, gen); f != nil {
+		if f.Crash {
+			panic(crashSentinel{})
+		}
+		if f.Corrupt && len(body) > 0 {
+			// Bit-rot injection: the header's CRC was computed over the
+			// intact payload, so the generation lands on disk whole but
+			// invalid — exactly what load-time validation must catch.
+			body = append([]byte(nil), body...)
+			body[len(body)/2] ^= 0x01
+		}
+	}
+
+	tmp, err := os.CreateTemp(j.dir, snapTmpPrefix+"*")
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	discard := func(err error) (SnapshotInfo, error) {
+		//corlint:allow dur-ignored-write — cleanup of a tmp file removed on the next line; the original error propagates
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return SnapshotInfo{}, err
+	}
+	if err := json.NewEncoder(tmp).Encode(hdr); err != nil {
+		return discard(err)
+	}
+	if _, err := tmp.Write(body); err != nil {
+		return discard(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return discard(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return SnapshotInfo{}, err
+	}
+	j.snapKillPoint(SnapPointTmp, gen)
+
+	final := filepath.Join(j.dir, snapName(gen))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return SnapshotInfo{}, err
+	}
+	if err := syncDir(j.dir); err != nil {
+		return SnapshotInfo{}, err
+	}
+	j.snapKillPoint(SnapPointRenamed, gen)
+	j.snapGen = gen
+
+	// Rotate the live logs: their records up to this point are covered by
+	// the snapshot; the rotated segments remain only as the suffix the
+	// previous generation needs if this one proves invalid.
+	if err := j.rotateLog(&j.labels, j.labelsW, "labels", gen); err != nil {
+		return SnapshotInfo{}, err
+	}
+	j.snapKillPoint(SnapPointRotatedLabels, gen)
+	if err := j.rotateLog(&j.batches, j.batchesW, "batches", gen); err != nil {
+		return SnapshotInfo{}, err
+	}
+	if err := syncDir(j.dir); err != nil {
+		return SnapshotInfo{}, err
+	}
+	j.snapKillPoint(SnapPointRotated, gen)
+
+	if err := j.prune(gen); err != nil {
+		return SnapshotInfo{}, err
+	}
+
+	info := SnapshotInfo{Gen: gen, Labels: nLabels, Batches: len(j.batchLog)}
+	if fi, err := os.Stat(final); err == nil {
+		info.Bytes = fi.Size()
+	}
+	j.lastSnap = info
+	j.appendedSinceSnap = false
+	if j.store != nil {
+		j.store.snaps.Add(1)
+		j.store.snapBytes.Add(info.Bytes)
+	}
+	return info, nil
+}
+
+// matcherState returns the serialized newest matcher: the forest trained
+// at this checkpoint when present, else the bytes of the newest journaled
+// model file, else nil.
+func (j *Journal) matcherState(cp engine.Checkpoint) ([]byte, error) {
+	if cp.Forest != nil {
+		var buf bytes.Buffer
+		if err := cp.Forest.Save(&buf, cp.FeatureNames); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	models, err := j.modelFiles()
+	if err != nil || len(models) == 0 {
+		return nil, err
+	}
+	return os.ReadFile(filepath.Join(j.dir, models[len(models)-1]))
+}
+
+// modelFiles lists the per-iteration matcher snapshots, sorted (the
+// zero-padded iteration number makes lexical order iteration order).
+func (j *Journal) modelFiles() ([]string, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "model_iter") && strings.HasSuffix(name, ".json") {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// rotateLog closes the live log, renames it to its generation segment,
+// and reopens a fresh live log routed through the same fault-injecting,
+// byte-counting writer. base is "labels" or "batches".
+func (j *Journal) rotateLog(f **os.File, w *faultWriter, base string, gen uint64) error {
+	live := filepath.Join(j.dir, base+".jsonl")
+	if err := (*f).Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(live, filepath.Join(j.dir, segName(base, gen))); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(live, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	*f = nf
+	w.f = nf
+	return nil
+}
+
+// prune enforces retention after generation gen is installed: snapshots
+// older than gen-1 go, along with log segments below gen (their records
+// are covered by the kept generations — segment gN is exactly the suffix
+// generation gN-1 still needs) and all but the two newest matcher model
+// files (the snapshot embeds the newest anyway).
+func (j *Journal) prune(gen uint64) error {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return err
+	}
+	var errs []error
+	rm := func(name string) {
+		if err := os.Remove(filepath.Join(j.dir, name)); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if g, ok := parseSnapGen(name); ok && g+1 < gen {
+			rm(name)
+			continue
+		}
+		for _, base := range []string{"labels", "batches"} {
+			if g, ok := parseSegGen(name, base); ok && g < gen {
+				rm(name)
+			}
+		}
+	}
+	models, merr := j.modelFiles()
+	if merr != nil {
+		errs = append(errs, merr)
+	}
+	for i := 0; i < len(models)-2; i++ {
+		rm(models[i])
+	}
+	return errors.Join(errs...)
+}
+
+// LastSnapshot reports the newest snapshot this journal wrote (zero Gen
+// when none has been written this session).
+func (j *Journal) LastSnapshot() SnapshotInfo { return j.lastSnap }
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable before the code that depends on it proceeds.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		//corlint:allow dur-ignored-write — cleanup of a read-only directory handle while the sync error propagates
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// loadedSnapshot is a structurally validated snapshot, split into its
+// sections but not yet applied to a runner.
+type loadedSnapshot struct {
+	hdr     snapHeader
+	labels  []byte // label-log lines, LoadLabelLog format
+	batches []byte // batchRecord lines
+}
+
+// loadSnapshot reads and validates one generation: header parse, payload
+// length, and CRC. Any failure — torn header, short payload, checksum
+// mismatch — returns an error without touching runner state, which is
+// what lets the replay ladder fall back safely.
+func (j *Journal) loadSnapshot(gen uint64) (*loadedSnapshot, error) {
+	buf, err := os.ReadFile(filepath.Join(j.dir, snapName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	j.countReplayBytes(int64(len(buf)), false)
+	nl := bytes.IndexByte(buf, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("runsvc: snapshot g%d: torn header", gen)
+	}
+	var hdr snapHeader
+	if err := json.Unmarshal(buf[:nl], &hdr); err != nil {
+		return nil, fmt.Errorf("runsvc: snapshot g%d: decode header: %w", gen, err)
+	}
+	payload := buf[nl+1:]
+	if len(payload) != hdr.PayloadBytes {
+		return nil, fmt.Errorf("runsvc: snapshot g%d: payload %d bytes, header says %d",
+			gen, len(payload), hdr.PayloadBytes)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != hdr.CRC {
+		return nil, fmt.Errorf("runsvc: snapshot g%d: checksum mismatch (got %08x, want %08x)",
+			gen, crc, hdr.CRC)
+	}
+	// Split the payload: Labels label lines, then Batches batch lines,
+	// then ModelBytes of matcher state.
+	labelEnd, err := skipLines(payload, hdr.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("runsvc: snapshot g%d: label section: %w", gen, err)
+	}
+	batchEnd, err := skipLines(payload[labelEnd:], hdr.Batches)
+	if err != nil {
+		return nil, fmt.Errorf("runsvc: snapshot g%d: batch section: %w", gen, err)
+	}
+	batchEnd += labelEnd
+	if got := len(payload) - batchEnd; got != hdr.ModelBytes {
+		return nil, fmt.Errorf("runsvc: snapshot g%d: model section %d bytes, header says %d",
+			gen, got, hdr.ModelBytes)
+	}
+	return &loadedSnapshot{
+		hdr:     hdr,
+		labels:  payload[:labelEnd],
+		batches: payload[labelEnd:batchEnd],
+	}, nil
+}
+
+// skipLines returns the byte offset just past the n-th newline in buf.
+func skipLines(buf []byte, n int) (int, error) {
+	off := 0
+	for i := 0; i < n; i++ {
+		nl := bytes.IndexByte(buf[off:], '\n')
+		if nl < 0 {
+			return 0, fmt.Errorf("section ends after %d of %d lines", i, n)
+		}
+		off += nl + 1
+	}
+	return off, nil
+}
+
+// countReplayBytes feeds the store's replay-cost instrumentation. logFile
+// distinguishes line-log bytes (the O(records since snapshot) quantity
+// the bounded-replay test pins) from snapshot bytes (O(state)).
+func (j *Journal) countReplayBytes(n int64, logFile bool) {
+	if j.store == nil || n <= 0 {
+		return
+	}
+	j.store.bytesRead.Add(n)
+	if logFile {
+		j.store.logBytesRead.Add(n)
+	}
+}
+
+// countingReader counts bytes as replay consumes a log file.
+type countingReader struct {
+	r io.Reader
+	j *Journal
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.j.countReplayBytes(int64(n), true)
+	return n, err
+}
+
+// Replay loads the journal into a fresh runner via the fallback ladder:
+//
+//  1. the newest structurally valid snapshot generation (CRC-checked),
+//     applied through the label log's accounting-restoring loader;
+//  2. every log segment rotated after that generation, plus the live
+//     logs — the O(records since snapshot) suffix. Batch lines the
+//     snapshot already covers are skipped by sequence number; label lines
+//     are cumulative per pair, so overlap converges exactly;
+//  3. when the newest snapshot fails validation, the previous generation
+//     plus its longer suffix; when no snapshot exists at all (legacy
+//     journals, or a crash before the first compaction), the full log
+//     from record zero — the original replay path, still supported.
+//
+// If snapshots exist but none validates, Replay fails rather than
+// silently replaying a truncated history: segments older than the kept
+// generations were compacted away, so a log-only replay could
+// under-restore paid state. Returns the labels and batches loaded.
+func (j *Journal) Replay(r *crowd.Runner) (labels, batches int, err error) {
+	gens, _, err := scanGenerations(j.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	var snap *loadedSnapshot
+	var snapGen uint64
+	var lastErr error
+	for i := len(gens) - 1; i >= 0; i-- {
+		s, serr := j.loadSnapshot(gens[i])
+		if serr == nil {
+			snap, snapGen = s, gens[i]
+			break
+		}
+		if j.store != nil {
+			j.store.snapFallbacks.Add(1)
+		}
+		lastErr = serr
+	}
+	if snap == nil && len(gens) > 0 {
+		return 0, 0, fmt.Errorf("runsvc: replay: no valid snapshot generation (newest failure: %w); "+
+			"older log segments were compacted away, refusing a partial replay", lastErr)
+	}
+	// Invalid generations newer than the chosen one are dead weight — and
+	// would shadow the good generation at the next prune. Their rotated
+	// segments stay: they are exactly the suffix replayed below. Removal
+	// is best-effort; a leftover invalid file just re-runs the fallback.
+	for _, g := range gens {
+		if g > snapGen {
+			os.Remove(filepath.Join(j.dir, snapName(g)))
+		}
+	}
+
+	j.batchLog, j.batchSeq = nil, 0
+	if snap != nil {
+		n, lerr := r.LoadLabelLog(bytes.NewReader(snap.labels))
+		if lerr != nil {
+			return n, 0, fmt.Errorf("runsvc: replay snapshot g%d labels: %w", snapGen, lerr)
+		}
+		labels += n
+		if berr := j.applyBatchLines(bytes.NewReader(snap.batches), true); berr != nil {
+			return labels, 0, fmt.Errorf("runsvc: replay snapshot g%d batches: %w", snapGen, berr)
+		}
+		if j.batchSeq < snap.hdr.BatchSeq {
+			j.batchSeq = snap.hdr.BatchSeq
+		}
+		r.RestoreHITs(snap.hdr.HITs)
+		// Cross-check the restored accounting against the header written at
+		// snapshot time. The CRC already rules out disk corruption, so a
+		// mismatch is a writer/loader logic divergence: fail loudly instead
+		// of resuming with silently wrong spend. Cost compares by bit
+		// pattern — bit-identical restore is the contract.
+		if st := r.Stats(); st.Answers != snap.hdr.Answers || st.Pairs != snap.hdr.Pairs ||
+			math.Float64bits(st.Cost) != math.Float64bits(snap.hdr.Cost) {
+			return labels, 0, fmt.Errorf(
+				"runsvc: replay snapshot g%d: restored accounting %d answers/%d pairs/%v cost, header says %d/%d/%v",
+				snapGen, st.Answers, st.Pairs, st.Cost, snap.hdr.Answers, snap.hdr.Pairs, snap.hdr.Cost)
+		}
+	}
+
+	// The suffix: segments rotated after the chosen generation, ascending,
+	// then the live logs. With no snapshot chosen this is the whole log.
+	segGens, err := j.segmentGens()
+	if err != nil {
+		return labels, 0, err
+	}
+	var labelFiles, batchFiles []string
+	for _, g := range segGens {
+		if g <= snapGen {
+			continue
+		}
+		labelFiles = append(labelFiles, segName("labels", g))
+		batchFiles = append(batchFiles, segName("batches", g))
+	}
+	labelFiles = append(labelFiles, "labels.jsonl")
+	batchFiles = append(batchFiles, "batches.jsonl")
+
+	for _, name := range labelFiles {
+		n, lerr := j.replayLabelFile(r, name)
+		labels += n
+		if lerr != nil {
+			return labels, 0, fmt.Errorf("runsvc: replay labels (%s): %w", name, lerr)
+		}
+	}
+	for _, name := range batchFiles {
+		if berr := j.replayBatchFile(name); berr != nil {
+			return labels, len(j.batchLog), fmt.Errorf("runsvc: replay batches (%s): %w", name, berr)
+		}
+	}
+
+	recs := make([][]record.Pair, len(j.batchLog))
+	hits := 0
+	for i, b := range j.batchLog {
+		ps := make([]record.Pair, len(b.Pairs))
+		for k, ab := range b.Pairs {
+			ps[k] = record.Pair{A: ab[0], B: ab[1]}
+		}
+		recs[i] = ps
+		if b.HITs > hits {
+			hits = b.HITs
+		}
+	}
+	r.QueueReplayBatches(recs)
+	r.RestoreHITs(hits)
+	return labels, len(recs), nil
+}
+
+// segmentGens lists the generations with a rotated labels or batches
+// segment present, ascending, deduplicated.
+func (j *Journal) segmentGens() ([]uint64, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for _, e := range entries {
+		for _, base := range []string{"labels", "batches"} {
+			if g, ok := parseSegGen(e.Name(), base); ok && !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+	return out, nil
+}
+
+// replayLabelFile streams one label log (segment or live) into the
+// runner. A missing file is fine: a fresh journal, or the window after a
+// crash mid-rotation.
+func (j *Journal) replayLabelFile(r *crowd.Runner, name string) (int, error) {
+	f, err := os.Open(filepath.Join(j.dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	//corlint:allow dur-ignored-write — read-only handle; nothing buffered to lose
+	defer f.Close()
+	return r.LoadLabelLog(&countingReader{r: f, j: j})
+}
+
+// replayBatchFile appends one batch log's records to j.batchLog.
+func (j *Journal) replayBatchFile(name string) error {
+	f, err := os.Open(filepath.Join(j.dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	//corlint:allow dur-ignored-write — read-only handle; nothing buffered to lose
+	defer f.Close()
+	return j.applyBatchLines(&countingReader{r: f, j: j}, false)
+}
+
+// applyBatchLines scans batch lines into j.batchLog. Lines the restored
+// state already covers — sequence number at or below j.batchSeq — are
+// skipped: they are the overlap a crash between snapshot rename and log
+// rotation leaves behind. Legacy lines without a sequence number get
+// synthetic ones in file order. fromSnapshot marks the snapshot's own
+// section, where a malformed line is a writer bug (the CRC passed), not
+// the tolerable torn tail a hard kill leaves in a live log.
+func (j *Journal) applyBatchLines(rd io.Reader, fromSnapshot bool) error {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var torn error
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if torn != nil {
+			return fmt.Errorf("malformed line followed by more data: %w", torn)
+		}
+		var rec batchRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if fromSnapshot {
+				return err
+			}
+			torn = err
+			continue
+		}
+		if rec.Seq != 0 && rec.Seq <= j.batchSeq {
+			continue
+		}
+		if rec.Seq == 0 {
+			rec.Seq = j.batchSeq + 1
+		}
+		j.batchSeq = rec.Seq
+		j.batchLog = append(j.batchLog, rec)
+	}
+	return sc.Err()
+}

@@ -1,0 +1,416 @@
+package runsvc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/record"
+)
+
+// snapFiles lists the snapshot generation files in a journal dir.
+func snapFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read journal dir: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if _, ok := parseSnapGen(e.Name()); ok {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// logBytesOnDisk totals the label/batch log files (live + rotated
+// segments) currently in a journal dir — the exact byte count a replay's
+// log-suffix pass must consume.
+func logBytesOnDisk(t *testing.T, dir string) int64 {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read journal dir: %v", err)
+	}
+	var total int64
+	for _, e := range entries {
+		name := e.Name()
+		isLog := name == "labels.jsonl" || name == "batches.jsonl"
+		for _, base := range []string{"labels", "batches"} {
+			if _, ok := parseSegGen(name, base); ok {
+				isLog = true
+			}
+		}
+		if !isLog {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatalf("stat %s: %v", name, err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// crashWithSnapshots runs a job with compaction enabled and a kill
+// injected after crashAfter batch flushes, returning the journal root and
+// the crashed job's id. It fails the test unless at least one snapshot
+// generation was written before the crash — the precondition every
+// snapshot-resume test needs.
+func crashWithSnapshots(t *testing.T, meta Meta, crashAfter int) (dir, id string) {
+	t.Helper()
+	dir = t.TempDir()
+	m, err := NewManager(Options{Workers: 1, JournalDir: dir, SnapshotEvery: 1})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	m.testCrashAfterBatches = crashAfter
+	j, err := m.Submit(Spec{Meta: &meta})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	j.Wait()
+	snaps := m.Store().SnapshotsWritten()
+	m.Close()
+	if j.State() != StateCrashed {
+		t.Fatalf("state = %s, want crashed", j.State())
+	}
+	if snaps == 0 {
+		t.Fatalf("no snapshot written before the crash (crashAfter=%d); raise crashAfter", crashAfter)
+	}
+	return dir, j.ID
+}
+
+// resumeAndWait resumes the job on a fresh compaction-enabled manager
+// with a counting crowd, returning the manager, the result, and the
+// per-pair answer counter.
+func resumeAndWait(t *testing.T, dir, id string, meta Meta) (*Manager, *Job, *countingCrowd) {
+	t.Helper()
+	m, err := NewManager(Options{Workers: 1, JournalDir: dir, SnapshotEvery: 1})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	spec, err := BuildSpec(meta)
+	if err != nil {
+		t.Fatalf("BuildSpec: %v", err)
+	}
+	counting := &countingCrowd{inner: spec.Crowd}
+	j, err := m.ResumeSpec(id, Spec{
+		Name:    spec.Name,
+		Dataset: spec.Dataset,
+		Crowd:   counting,
+		Config:  spec.Config,
+		Meta:    &meta,
+	})
+	if err != nil {
+		m.Close()
+		t.Fatalf("ResumeSpec: %v", err)
+	}
+	if _, err := j.Wait(); err != nil {
+		m.Close()
+		t.Fatalf("resumed job: %v", err)
+	}
+	return m, j, counting
+}
+
+// TestSnapshotResumeBitIdentical is the compaction acceptance test: a job
+// crashed after snapshots + rotations have discarded its log prefix must
+// resume from the newest generation to the exact result and accounting of
+// an uninterrupted run — the snapshot replaces the log history losslessly.
+func TestSnapshotResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot resume integration test in -short mode")
+	}
+	meta := testMeta(7, 0.2, 0)
+	base := serialRun(t, meta)
+	dir, id := crashWithSnapshots(t, meta, 5)
+
+	m, j, _ := resumeAndWait(t, dir, id, meta)
+	defer m.Close()
+	res, _ := j.Wait()
+	if j.State() != StateDone {
+		t.Fatalf("resumed job state = %s, want done", j.State())
+	}
+	if res.Accounting != base.Accounting {
+		t.Errorf("resumed accounting %+v != uninterrupted %+v", res.Accounting, base.Accounting)
+	}
+	if res.True.F1 != base.True.F1 || res.StopReason != base.StopReason ||
+		res.Iterations != base.Iterations {
+		t.Errorf("resumed result %v/%q/%d, baseline %v/%q/%d",
+			res.True.F1, res.StopReason, res.Iterations,
+			base.True.F1, base.StopReason, base.Iterations)
+	}
+	if !samePairs(res.Matches, base.Matches) {
+		t.Errorf("resumed matches (%d) differ from baseline (%d)", len(res.Matches), len(base.Matches))
+	}
+
+	// The resume announced the compaction it replayed from: a "compact"
+	// event per generation written during the resumed run is optional, but
+	// the replay itself must have read a snapshot.
+	if m.Store().BytesRead() == 0 {
+		t.Error("resume read no journal bytes")
+	}
+}
+
+// TestSnapshotBoundedReplay pins the tentpole's cost bound: with
+// compaction enabled, resuming after many checkpoints reads only the log
+// records written since the last snapshot (plus the fallback segment),
+// not the job's whole append history.
+func TestSnapshotBoundedReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded replay integration test in -short mode")
+	}
+	meta := testMeta(7, 0.2, 0)
+	dir, id := crashWithSnapshots(t, meta, 5)
+
+	// What the crash left on disk: the live logs plus the retained
+	// fallback segments — by construction O(records since last snapshot),
+	// already compacted down from the full history.
+	jdir := filepath.Join(dir, id)
+	suffix := logBytesOnDisk(t, jdir)
+
+	m, j, _ := resumeAndWait(t, dir, id, meta)
+	defer m.Close()
+	if j.State() != StateDone {
+		t.Fatalf("resumed job state = %s, want done", j.State())
+	}
+
+	logRead := m.Store().LogBytesRead()
+	if logRead == 0 {
+		t.Fatal("replay consumed no log bytes; instrumentation broken")
+	}
+	if logRead > suffix {
+		t.Errorf("replay read %d log bytes, but only %d log bytes existed on disk at resume", logRead, suffix)
+	}
+	// The bound must be a real saving: the journal appended strictly more
+	// than the suffix over its lifetime (rotated-away prefix > 0).
+	if total := m.Store().BytesRead(); total <= logRead {
+		t.Errorf("total replay bytes %d not above log share %d; no snapshot was read", total, logRead)
+	}
+}
+
+// TestSnapshotCorruptionFallback flips one byte in the newest snapshot
+// generation and asserts resume falls back to the previous generation
+// plus its longer log suffix — landing on bit-identical accounting with
+// no pair re-paid.
+func TestSnapshotCorruptionFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corruption fallback integration test in -short mode")
+	}
+	meta := testMeta(7, 0.2, 0)
+	base := serialRun(t, meta)
+
+	// Run to completion with compaction: retention keeps the newest two
+	// generations, exactly the ladder the corruption must exercise.
+	dir := t.TempDir()
+	m1, err := NewManager(Options{Workers: 1, JournalDir: dir, SnapshotEvery: 1})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	j1, err := m1.Submit(Spec{Meta: &meta})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j1.Wait(); err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	m1.Close()
+
+	jdir := filepath.Join(dir, j1.ID)
+	snaps := snapFiles(t, jdir)
+	if len(snaps) != 2 {
+		t.Fatalf("retention kept %d snapshot generations %v, want 2", len(snaps), snaps)
+	}
+	newest := filepath.Join(jdir, snaps[len(snaps)-1])
+	buf, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	buf[len(buf)/2] ^= 0x01 // bit rot in the payload
+	if err := os.WriteFile(newest, buf, 0o644); err != nil {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+
+	m2, j2, counting := resumeAndWait(t, dir, j1.ID, meta)
+	defer m2.Close()
+	res, _ := j2.Wait()
+	if j2.State() != StateDone {
+		t.Fatalf("resumed job state = %s, want done", j2.State())
+	}
+	if got := m2.Store().SnapshotFallbacks(); got < 1 {
+		t.Errorf("fallback counter = %d, want >= 1 (corrupt generation skipped)", got)
+	}
+	if res.Accounting != base.Accounting {
+		t.Errorf("post-fallback accounting %+v != uninterrupted %+v", res.Accounting, base.Accounting)
+	}
+	if counting.total != 0 {
+		t.Errorf("resume of a finished job re-paid %d answers after fallback, want 0", counting.total)
+	}
+	if !samePairs(res.Matches, base.Matches) {
+		t.Errorf("post-fallback matches (%d) differ from baseline (%d)", len(res.Matches), len(base.Matches))
+	}
+}
+
+// TestSnapshotAllGenerationsCorrupt: when every retained generation fails
+// validation, Replay must refuse to run — older log segments were
+// compacted away, so a log-only replay would silently under-restore paid
+// state. A loud failure is the contract.
+func TestSnapshotAllGenerationsCorrupt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corruption integration test in -short mode")
+	}
+	meta := testMeta(7, 0.2, 0)
+	dir, id := crashWithSnapshots(t, meta, 5)
+
+	jdir := filepath.Join(dir, id)
+	for _, name := range snapFiles(t, jdir) {
+		path := filepath.Join(jdir, name)
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		buf[len(buf)/2] ^= 0x01
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatalf("corrupt %s: %v", name, err)
+		}
+	}
+
+	m, err := NewManager(Options{Workers: 1, JournalDir: dir, SnapshotEvery: 1})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+	j, err := m.Resume(id)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if _, err := j.Wait(); err == nil || !strings.Contains(err.Error(), "no valid snapshot generation") {
+		t.Fatalf("resume with every generation corrupt: err = %v, want refusal", err)
+	}
+	if j.State() != StateFailed {
+		t.Errorf("state = %s, want failed", j.State())
+	}
+}
+
+// TestSnapshotTornTmpSweep covers the dir-with-only-a-torn-tmp shape: a
+// crash between tmp-write and rename leaves an orphaned tmp and no
+// installed generation. Open must sweep the tmp, and Replay must fall
+// through to plain full-log replay.
+func TestSnapshotTornTmpSweep(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	jl, err := store.Open("torn")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	jl.Close()
+
+	jdir := filepath.Join(dir, "torn")
+	labels := `{"a":0,"b":0,"answers":[true,true],"label":true,"settled":1}` + "\n"
+	batches := `{"p":[[0,0]],"hits":1,"s":1}` + "\n"
+	if err := os.WriteFile(filepath.Join(jdir, "labels.jsonl"), []byte(labels), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jdir, "batches.jsonl"), []byte(batches), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The torn tmp a kill mid-snapshot-write leaves: half a header, no
+	// newline, never renamed.
+	torn := filepath.Join(jdir, snapTmpPrefix+"123456")
+	if err := os.WriteFile(torn, []byte(`{"gen":1,"labels":9`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jl, err = store.Open("torn")
+	if err != nil {
+		t.Fatalf("reopen with torn tmp: %v", err)
+	}
+	defer jl.Close()
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Errorf("torn snapshot tmp survived Open (stat err %v)", err)
+	}
+	r := crowd.NewRunner(nil, 0.01)
+	nl, nb, err := jl.Replay(r)
+	if err != nil {
+		t.Fatalf("replay after sweep: %v", err)
+	}
+	if nl != 1 || nb != 1 {
+		t.Errorf("replayed %d labels, %d batches; want 1 and 1", nl, nb)
+	}
+	if st := r.Stats(); st.Answers != 2 || st.HITs != 1 {
+		t.Errorf("restored accounting %+v, want 2 answers and 1 HIT", st)
+	}
+	if _, ok := r.Cached(record.P(0, 0), crowd.PolicyStrong); !ok {
+		t.Error("label lost across the sweep")
+	}
+}
+
+// TestSnapshotDirBounded pins the compaction retention bound: across three
+// or more generations, the journal directory holds at most the two newest
+// snapshots, one rotated segment pair, and two matcher model files — the
+// prefix history is gone.
+func TestSnapshotDirBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compaction retention integration test in -short mode")
+	}
+	meta := testMeta(7, 0.2, 0)
+	dir := t.TempDir()
+	m, err := NewManager(Options{Workers: 1, JournalDir: dir, SnapshotEvery: 1})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+	j, err := m.Submit(Spec{Meta: &meta})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j.Wait(); err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	if snaps := m.Store().SnapshotsWritten(); snaps < 3 {
+		t.Fatalf("job wrote %d snapshot generations, need >= 3 to exercise retention", snaps)
+	}
+
+	jdir := filepath.Join(dir, j.ID)
+	entries, err := os.ReadDir(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapCount, segCount, modelCount, tmpCount int
+	for _, e := range entries {
+		name := e.Name()
+		if _, ok := parseSnapGen(name); ok {
+			snapCount++
+		}
+		for _, base := range []string{"labels", "batches"} {
+			if _, ok := parseSegGen(name, base); ok {
+				segCount++
+			}
+		}
+		if strings.HasPrefix(name, "model_iter") {
+			modelCount++
+		}
+		if strings.HasPrefix(name, snapTmpPrefix) {
+			tmpCount++
+		}
+	}
+	if snapCount > 2 {
+		t.Errorf("%d snapshot generations on disk, retention promises <= 2", snapCount)
+	}
+	if segCount > 2 {
+		t.Errorf("%d rotated log segments on disk, retention promises <= 2 (one pair)", segCount)
+	}
+	if modelCount > 2 {
+		t.Errorf("%d matcher model files on disk, retention promises <= 2", modelCount)
+	}
+	if tmpCount != 0 {
+		t.Errorf("%d stale snapshot tmp files on disk, want 0", tmpCount)
+	}
+}

@@ -30,7 +30,11 @@ go run ./cmd/corlint -alloc
 # first, without -race, so a resilience regression surfaces in seconds
 # instead of at the end of the long race run. The race run that follows
 # covers the full schedule matrix (chaos suite included).
-go test -count=1 -run 'TestChaosSchedules/(5xx-burst|kill-points)' ./internal/faultkit
+go test -count=1 -run 'TestChaosSchedules/(5xx-burst|kill-points|snap-kill-points)' ./internal/faultkit
+
+# Snapshot/compaction smoke: the corruption fallback ladder and the
+# bounded-replay cost bound, without -race for fast signal.
+go test -count=1 -run 'TestSnapshotCorruptionFallback|TestSnapshotBoundedReplay' ./internal/runsvc
 
 # Sharded smoke: the bit-identical equivalence sweep (K x GOMAXPROCS) and
 # one shard-worker failover schedule, again without -race for fast signal.
