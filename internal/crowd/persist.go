@@ -137,6 +137,16 @@ func (r *Runner) DumpLabelLog(w io.Writer) (int, error) {
 // per-process spend. (Cross-job label reuse goes through LoadLabels, which
 // deliberately adds no cost.)
 //
+// Replay is monotonic per pair: a line carrying strictly fewer answers
+// than the cache already holds for its pair is skipped outright. Genuine
+// histories only ever grow a pair's answer set, so such a line is a stale
+// overlap — compaction replay feeds the snapshot first and then log lines
+// the snapshot already covers (a crash between snapshot rename and log
+// rotation leaves that window). Applying it would regress the cache and
+// let the pair's next cumulative line re-charge answers the snapshot
+// restore already paid; skipping makes every delta non-negative, so
+// over-replay of covered history charges exactly zero.
+//
 // A malformed final line is tolerated and skipped: a hard kill can tear
 // the trailing entry mid-write, and losing the in-flight tail is exactly
 // the journal's durability contract. A malformed line followed by more
@@ -166,14 +176,22 @@ func (r *Runner) LoadLabelLog(rd io.Reader) (int, error) {
 		}
 		p := record.Pair{A: e.A, B: e.B}
 		prev, exists := r.cache[p]
+		if exists && len(e.Answers) < len(prev.answers) {
+			// Stale overlap line (see the monotonicity doc above): the cache
+			// already restored a strictly larger answer set for this pair, so
+			// this line predates covered history. Skipped entirely — no state
+			// change, no accounting.
+			continue
+		}
 		if !exists && !e.Seed {
 			// Seeds are excluded: a live run never counts them either.
 			r.acct.Pairs++
 		}
 		paid := len(e.Answers)
 		if exists {
-			// A superseding line carries the pair's cumulative answers;
-			// only the delta is newly restored spend.
+			// A superseding line carries the pair's cumulative answers; only
+			// the delta beyond what is already restored is newly paid spend.
+			// The stale-line skip above keeps the delta non-negative.
 			paid -= len(prev.answers)
 		}
 		if paid > 0 {

@@ -167,6 +167,54 @@ func TestAppendLabelsSupersede(t *testing.T) {
 	}
 }
 
+// TestLoadLabelLogOverlapMonotonic reproduces the crash window between a
+// compaction snapshot's rename and the label-log rotation: replay loads
+// the snapshot (the pair restored at its full answer count) and then the
+// whole un-rotated live log, which still holds the pair's earlier
+// cumulative lines. A stale line must neither regress the cache nor set up
+// the pair's later line to re-charge answers the snapshot restore already
+// paid — the over-replay must converge at exactly zero extra cost.
+func TestLoadLabelLogOverlapMonotonic(t *testing.T) {
+	truth := truth2()
+	r1 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	var live bytes.Buffer
+	r1.Label(record.P(0, 1), Policy21) // two answers, 2+1-settled
+	if _, err := r1.AppendLabels(&live); err != nil {
+		t.Fatal(err)
+	}
+	r1.Label(record.P(0, 1), PolicyStrong) // topped up: more answers
+	if _, err := r1.AppendLabels(&live); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot a checkpoint would write right after those flushes.
+	var snap bytes.Buffer
+	if _, err := r1.DumpLabelLog(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRunner(&Oracle{Truth: truth}, 0.01)
+	if _, err := r2.LoadLabelLog(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	afterSnap := r2.Stats()
+	if afterSnap.Answers != r1.Stats().Answers {
+		t.Fatalf("snapshot restore = %d answers, original paid %d",
+			afterSnap.Answers, r1.Stats().Answers)
+	}
+	// Replay the overlapping live log on top: both cumulative lines,
+	// including the stale first one.
+	if _, err := r2.LoadLabelLog(bytes.NewReader(live.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Stats(); got != afterSnap {
+		t.Errorf("overlap replay changed accounting: %+v, want %+v (zero extra cost)",
+			got, afterSnap)
+	}
+	if _, ok := r2.Cached(record.P(0, 1), PolicyStrong); !ok {
+		t.Error("overlap replay regressed the entry below its strong settle")
+	}
+}
+
 func TestLoadLabelLogRejectsGarbage(t *testing.T) {
 	r := NewRunner(&Oracle{Truth: truth2()}, 0.01)
 	// A malformed line with more data after it is corruption, not a torn

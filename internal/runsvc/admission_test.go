@@ -2,6 +2,8 @@ package runsvc
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -70,6 +72,40 @@ func TestAdmissionDraining(t *testing.T) {
 	}
 	if metrics.SubmitsShed < 2 {
 		t.Errorf("SubmitsShed = %d, want >= 2", metrics.SubmitsShed)
+	}
+}
+
+// TestDiskUsageCached pins the admission check's cost model: DiskUsage
+// walks the journal tree at most once per refresh window and otherwise
+// serves the cached total plus the store's own append/snapshot counters —
+// a submission's disk-budget check must not be a per-submit tree scan.
+func TestDiskUsageCached(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seed.bin"), make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, err := store.DiskUsage()
+	if err != nil || u != 100 {
+		t.Fatalf("first DiskUsage = %d (err %v), want 100 from the walk", u, err)
+	}
+	// A file created behind the store's back stays invisible inside the
+	// refresh window — proof the tree was not re-walked...
+	if err := os.WriteFile(filepath.Join(dir, "behind.bin"), make([]byte, 50), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if u, err = store.DiskUsage(); err != nil || u != 100 {
+		t.Fatalf("cached DiskUsage = %d (err %v), want 100 (no re-walk)", u, err)
+	}
+	// ...while growth through the store's own writers is reflected
+	// immediately via the byte counters, no walk needed.
+	store.bytes.Add(7)
+	store.snapBytes.Add(3)
+	if u, err = store.DiskUsage(); err != nil || u != 110 {
+		t.Fatalf("extrapolated DiskUsage = %d (err %v), want 110 (100 + 10 appended)", u, err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -75,6 +76,20 @@ type Store struct {
 	snaps         atomic.Int64
 	snapBytes     atomic.Int64
 	snapFallbacks atomic.Int64
+
+	// Cached DiskUsage state: usageWalk holds the last full-tree WalkDir
+	// total and usageLines/usageSnaps the append counters observed at that
+	// walk, so usage between walks is extrapolated from the counters
+	// instead of re-scanning the journal tree on every submission.
+	// usageCalls counts lookups served from the cache since that walk;
+	// usageValid is false until the first walk. Guarded by usageMu, not
+	// atomics: DiskUsage is a submit-path call, not a hot loop.
+	usageMu    sync.Mutex
+	usageWalk  int64
+	usageLines int64
+	usageSnaps int64
+	usageCalls int
+	usageValid bool
 }
 
 // BytesWritten reports bytes appended to journal line files (labels,
@@ -87,8 +102,10 @@ func (s *Store) BytesRead() int64 { return s.bytesRead.Load() }
 
 // LogBytesRead reports only the line-log bytes consumed by Replay. With
 // compaction enabled this is the O(records since last snapshot) quantity;
-// the remainder of BytesRead is snapshot payload, which is O(state), not
-// O(history).
+// the remainder of BytesRead is snapshot payload — O(live state) label
+// and model sections plus an O(training batches so far) batch section,
+// which exact HIT-packing replay requires in full (see snapshot.go's
+// sizing note).
 func (s *Store) LogBytesRead() int64 { return s.logBytesRead.Load() }
 
 // SnapshotsWritten reports generation snapshots written this process.
@@ -101,10 +118,44 @@ func (s *Store) SnapshotBytes() int64 { return s.snapBytes.Load() }
 // skipped past (checksum mismatch, torn file) this process.
 func (s *Store) SnapshotFallbacks() int64 { return s.snapFallbacks.Load() }
 
-// DiskUsage walks the store root and returns the total journal bytes on
-// disk. Serves the Manager's per-submit disk-budget admission check and
-// the boundedness tests; files racing with deletion are skipped.
+// diskUsageRefreshEvery bounds how many DiskUsage lookups may be served
+// from the cached walk before the tree is re-scanned. Between walks,
+// growth through the store's own writers (line appends, snapshots) is
+// tracked exactly by the byte counters; what the cache lags on is
+// deletions (pruned generations, removed journals), which only make it
+// overestimate — admission sheds marginally early, never late — and the
+// few small files written outside the counters (spec/status/model), an
+// underestimate bounded by one refresh window of submissions.
+const diskUsageRefreshEvery = 64
+
+// DiskUsage returns the total journal bytes on disk, serving the
+// Manager's per-submit disk-budget admission check. The full-tree walk
+// runs at most once per diskUsageRefreshEvery lookups; in between, the
+// cached total is extrapolated from the store's append and snapshot byte
+// counters, so a submission's admission check is O(1) in journal files,
+// not a tree scan.
 func (s *Store) DiskUsage() (int64, error) {
+	s.usageMu.Lock()
+	defer s.usageMu.Unlock()
+	if s.usageValid && s.usageCalls < diskUsageRefreshEvery {
+		s.usageCalls++
+		grown := (s.bytes.Load() - s.usageLines) + (s.snapBytes.Load() - s.usageSnaps)
+		return s.usageWalk + grown, nil
+	}
+	total, err := s.walkUsage()
+	if err != nil {
+		return 0, err
+	}
+	s.usageWalk = total
+	s.usageLines = s.bytes.Load()
+	s.usageSnaps = s.snapBytes.Load()
+	s.usageValid, s.usageCalls = true, 0
+	return total, nil
+}
+
+// walkUsage scans the store root and totals every journal file's size;
+// files racing with deletion are skipped.
+func (s *Store) walkUsage() (int64, error) {
 	var total int64
 	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {

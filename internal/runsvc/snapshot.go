@@ -17,6 +17,19 @@ package runsvc
 // it is detected at load time and the replay ladder falls back one
 // generation.
 //
+// Snapshot sizing: the label and model sections are O(live state) — one
+// line per distinct pair, one serialized forest. The batch section is
+// deliberately O(training batches so far), NOT O(state): exact HIT-packing
+// replay (crowd.QueueReplayBatches) needs the batch sequence from record
+// zero, because packing depends on cache state that differs on resume, so
+// every generation re-embeds the full batch log (mirrored in memory as
+// Journal.batchLog). Batch records are compact — a few bytes per training
+// example — so the payload is bounded by the job's paid crowd work, far
+// below the raw log bytes compaction discards; what compaction bounds to
+// O(records since the last snapshot) is the line-log replay suffix, not
+// the snapshot itself. Store.SnapshotEvery tunes the resulting write
+// amplification (each generation rewrites the batch history).
+//
 // Durability order per generation N: payload → tmp file → fsync → rename
 // to snap-gN.snap → dir fsync → rotate labels.jsonl to labels.gN.jsonl →
 // rotate batches.jsonl → dir fsync → prune. Every window is crash-safe:
@@ -25,7 +38,11 @@ package runsvc
 //     authoritative.
 //   - killed between rename and rotation: the live logs still hold
 //     records the snapshot already covers. Label lines are cumulative per
-//     pair (over-replay converges to the same entry at zero extra cost)
+//     pair and their replay is monotonic — a line carrying fewer answers
+//     than already restored for its pair is skipped, and a line carrying
+//     no more answers re-applies at zero paid delta (crowd.LoadLabelLog),
+//     so even a pair with several answer-gaining lines in the overlap
+//     (an entry topped up across an earlier resume) charges nothing —
 //     and batch lines carry sequence numbers (over-replay is skipped by
 //     seq), so replaying the overlap on top of the snapshot is exact.
 //   - killed mid-rotation: one log rotated, the other not — the same two
@@ -36,7 +53,9 @@ package runsvc
 // Retention is two generations deep: after generation N lands, snapshots
 // older than N-1 are deleted, along with log segments already covered by
 // both kept generations and all but the two newest matcher model files.
-// Directory size is therefore bounded by O(live state), not O(history).
+// Directory size is therefore bounded by O(live state + batch history) —
+// dominated by live state in practice (see the sizing note above) — and
+// the raw log prefix, the quantity that grows without bound, is gone.
 
 import (
 	"bufio"
@@ -540,7 +559,8 @@ func skipLines(buf []byte, n int) (int, error) {
 
 // countReplayBytes feeds the store's replay-cost instrumentation. logFile
 // distinguishes line-log bytes (the O(records since snapshot) quantity
-// the bounded-replay test pins) from snapshot bytes (O(state)).
+// the bounded-replay test pins) from snapshot bytes (O(live state +
+// batch history) — see the sizing note in the package header).
 func (j *Journal) countReplayBytes(n int64, logFile bool) {
 	if j.store == nil || n <= 0 {
 		return
@@ -570,7 +590,8 @@ func (c *countingReader) Read(p []byte) (int, error) {
 //  2. every log segment rotated after that generation, plus the live
 //     logs — the O(records since snapshot) suffix. Batch lines the
 //     snapshot already covers are skipped by sequence number; label lines
-//     are cumulative per pair, so overlap converges exactly;
+//     are cumulative per pair and replay monotonically (stale lines are
+//     skipped, covered lines charge zero), so overlap converges exactly;
 //  3. when the newest snapshot fails validation, the previous generation
 //     plus its longer suffix; when no snapshot exists at all (legacy
 //     journals, or a crash before the first compaction), the full log

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/corleone-em/corleone/internal/crowd"
+	"github.com/corleone-em/corleone/internal/engine"
 	"github.com/corleone-em/corleone/internal/record"
 )
 
@@ -349,6 +350,96 @@ func TestSnapshotTornTmpSweep(t *testing.T) {
 	}
 	if _, ok := r.Cached(record.P(0, 0), crowd.PolicyStrong); !ok {
 		t.Error("label lost across the sweep")
+	}
+}
+
+// TestSnapshotRenameWindowNoDoublePay pins the rename-to-rotation crash
+// window against the shape that used to double-count paid accounting: a
+// pair with TWO answer-gaining cumulative lines in the un-rotated live log
+// (an entry appended at 2+1 and later topped up to a strong settle, as a
+// resume leaves behind). Replay loads the snapshot — the pair restored at
+// its full answer count — and then the overlapping live log; the stale
+// first line must not regress the cache and set the second line up to
+// re-charge the delta. Resume must land on bit-identical accounting.
+func TestSnapshotRenameWindowNoDoublePay(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	jl, err := store.Open("overlap")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	jl.Close()
+
+	jdir := filepath.Join(dir, "overlap")
+	labels := `{"a":0,"b":0,"answers":[true,true],"label":true,"settled":0}` + "\n" +
+		`{"a":0,"b":0,"answers":[true,true,true],"label":true,"settled":1}` + "\n"
+	batches := `{"p":[[0,0]],"hits":1,"s":1}` + "\n"
+	if err := os.WriteFile(filepath.Join(jdir, "labels.jsonl"), []byte(labels), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jdir, "batches.jsonl"), []byte(batches), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore the pre-crash session and kill it between the snapshot
+	// rename and the log rotation: the generation is installed, the live
+	// logs still hold every line it covers.
+	store.SnapFaults = func(point string, gen uint64) *SnapFault {
+		if point == SnapPointRenamed {
+			return &SnapFault{Crash: true}
+		}
+		return nil
+	}
+	jl, err = store.Open("overlap")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	r1 := crowd.NewRunner(nil, 0.01)
+	if _, _, err := jl.Replay(r1); err != nil {
+		t.Fatalf("pre-crash replay: %v", err)
+	}
+	want := r1.Stats()
+	if want.Answers != 3 || want.Pairs != 1 {
+		t.Fatalf("pre-crash accounting %+v, want 3 answers over 1 pair", want)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no crash injected at SnapPointRenamed")
+			}
+		}()
+		jl.Snapshot(r1, engine.Checkpoint{})
+	}()
+	jl.Close()
+	if snaps := snapFiles(t, jdir); len(snaps) != 1 {
+		t.Fatalf("snapshot generations on disk = %v, want exactly one", snaps)
+	}
+	if _, err := os.Stat(filepath.Join(jdir, "labels.jsonl")); err != nil {
+		t.Fatalf("live label log missing; crash landed after rotation: %v", err)
+	}
+
+	store.SnapFaults = nil
+	jl, err = store.Open("overlap")
+	if err != nil {
+		t.Fatalf("post-crash open: %v", err)
+	}
+	defer jl.Close()
+	r2 := crowd.NewRunner(nil, 0.01)
+	_, nb, err := jl.Replay(r2)
+	if err != nil {
+		t.Fatalf("post-crash replay: %v", err)
+	}
+	if got := r2.Stats(); got != want {
+		t.Errorf("overlap resume accounting %+v, want bit-identical %+v", got, want)
+	}
+	if nb != 1 {
+		t.Errorf("overlap resume replayed %d batches, want 1 (seq dedup)", nb)
+	}
+	if _, ok := r2.Cached(record.P(0, 0), crowd.PolicyStrong); !ok {
+		t.Error("overlap resume regressed the entry below its strong settle")
 	}
 }
 
